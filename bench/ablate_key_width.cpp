@@ -1,0 +1,78 @@
+// Ablation A3 (§5): "an additional overhead in the data volume and
+// number of packets is given by the fixed-size length of strings in our
+// implementation, that forces a 16 B key even for smaller strings."
+//
+// We measure the real corpus key-length distribution and compute the
+// wire volume a variable-width (or narrower fixed-width) encoding would
+// need, quantifying the overhead the paper promises to remove "in a
+// future version of DAIET".
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/protocol.hpp"
+#include "mapreduce/corpus.hpp"
+
+int main() {
+    using namespace daiet;
+    using namespace daiet::bench;
+    using namespace daiet::mr;
+
+    CorpusConfig cc;
+    cc.total_words = scaled(200'000);
+    cc.vocabulary_size = scaled(24'000);
+    const Corpus corpus{cc};
+
+    print_figure_banner(std::cout, "Ablation A3",
+                        "wire overhead of the fixed 16 B key cell vs key widths",
+                        "fixed 16 B keys inflate data volume; narrower cells truncate "
+                        "keys (correctness loss), variable-length keys need parser "
+                        "support P4 lacks");
+
+    // Key length distribution over word *instances* (traffic-weighted).
+    Samples lengths;
+    std::uint64_t instances = 0;
+    std::uint64_t raw_key_bytes = 0;
+    std::vector<std::uint64_t> freq(17, 0);
+    for (const auto& [word, count] : corpus.reference_counts()) {
+        const auto c = static_cast<std::uint64_t>(count);
+        instances += c;
+        raw_key_bytes += c * word.size();
+        freq[word.size()] += c;
+        lengths.add(static_cast<double>(word.size()));
+    }
+    std::cout << "corpus keys: mean length " << TextTable::fmt(lengths.mean(), 2)
+              << " B, median " << TextTable::fmt(lengths.median(), 0)
+              << " B, max " << TextTable::fmt(lengths.max(), 0) << " B\n\n";
+
+    const std::uint64_t value_bytes = instances * sizeof(WireValue);
+    TextTable table{{"key encoding", "bytes/pair (mean)", "shuffle volume",
+                     "vs 16 B fixed", "keys truncated"}};
+    const std::uint64_t fixed16 = instances * (16 + sizeof(WireValue));
+    const auto add = [&](const std::string& name, std::uint64_t volume,
+                         std::uint64_t truncated) {
+        table.add_row({name,
+                       TextTable::fmt(static_cast<double>(volume) /
+                                          static_cast<double>(instances),
+                                      2),
+                       std::to_string(volume),
+                       TextTable::pct(1.0 - static_cast<double>(volume) /
+                                                static_cast<double>(fixed16)),
+                       std::to_string(truncated)});
+    };
+    add("fixed 16 B (paper prototype)", fixed16, 0);
+    for (const std::size_t width : {8UL, 12UL}) {
+        std::uint64_t truncated = 0;
+        for (std::size_t len = width + 1; len <= 16; ++len) truncated += freq[len];
+        add("fixed " + std::to_string(width) + " B",
+            instances * (width + sizeof(WireValue)), truncated);
+    }
+    // Variable-length: 1 length byte + actual bytes.
+    add("variable (1 B length prefix)", raw_key_bytes + instances + value_bytes, 0);
+    table.print(std::cout);
+
+    std::cout << "\n(the 16 B cell also caps the vocabulary: words longer than the "
+                 "cell cannot be keys at all)\n";
+    return 0;
+}

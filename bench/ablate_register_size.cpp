@@ -1,0 +1,62 @@
+// Ablation A1 (§2 "limited memory size", §5 register sizing): how the
+// per-tree register array size trades SRAM against data reduction.
+// Small registers force collisions into the spillover path, which
+// forwards pairs un-aggregated; the reduction degrades gracefully, and
+// correctness is never affected (the job verifies its output).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "mapreduce/job.hpp"
+
+int main() {
+    using namespace daiet;
+    using namespace daiet::bench;
+    using namespace daiet::mr;
+
+    CorpusConfig cc;
+    cc.total_words = scaled(200'000);
+    cc.vocabulary_size = scaled(24'000);
+    cc.num_mappers = 8;
+    cc.num_reducers = 4;
+    cc.collision_free = false;  // collisions are the point here
+    const Corpus corpus{cc};
+
+    print_figure_banner(std::cout, "Ablation A1",
+                        "data reduction vs per-tree register size (collisions allowed)",
+                        "reduction approaches 1 - unique/total with ample registers "
+                        "and degrades as spillover takes over");
+
+    JobOptions base;
+    base.mode = ShuffleMode::kUdpNoAgg;
+    base.daiet.max_trees = cc.num_reducers;
+    const auto udp = run_wordcount_job(corpus, base);
+
+    TextTable table{{"registers/tree", "SRAM (MiB)", "data reduction", "pairs@reducers",
+                     "spilled pairs", "spill flushes"}};
+    for (const std::size_t registers :
+         {512UL, 1024UL, 2048UL, 4096UL, 8192UL, 16384UL}) {
+        JobOptions opts = base;
+        opts.mode = ShuffleMode::kDaiet;
+        opts.daiet.register_size = registers;
+        const auto result = run_wordcount_job(corpus, opts);
+        std::uint64_t pairs = 0;
+        for (const auto& r : result.reducers) pairs += r.pairs_received;
+        const double reduction =
+            1.0 - static_cast<double>(result.total_payload_bytes_at_reducers()) /
+                      static_cast<double>(udp.total_payload_bytes_at_reducers());
+        // Spill statistics are not carried in JobResult; infer from the
+        // pair balance: pairs at reducers - unique keys = un-aggregated.
+        table.add_row({std::to_string(registers),
+                       TextTable::fmt(static_cast<double>(result.switch_sram_used_bytes) /
+                                          (1 << 20),
+                                      2),
+                       TextTable::pct(reduction), std::to_string(pairs),
+                       std::to_string(pairs - result.output.size()),
+                       std::to_string(result.switch_recirculations)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(total unique keys: " << udp.output.size() << "; raw pairs: "
+              << udp.total_pairs_shuffled << ")\n";
+    return 0;
+}

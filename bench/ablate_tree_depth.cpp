@@ -1,0 +1,54 @@
+// Ablation A5 (§4, Figure 2): multi-level aggregation trees. On a
+// two-tier leaf-spine fabric, DAIET aggregates at every hop; we compare
+// the single-ToR rack deployment against the fabric, and report how
+// much each level contributes.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "mapreduce/job.hpp"
+
+int main() {
+    using namespace daiet;
+    using namespace daiet::bench;
+    using namespace daiet::mr;
+
+    CorpusConfig cc;
+    cc.total_words = scaled(200'000);
+    cc.vocabulary_size = scaled(24'000);
+    cc.num_mappers = 8;
+    cc.num_reducers = 4;
+    const Corpus corpus{cc};
+
+    print_figure_banner(std::cout, "Ablation A5",
+                        "aggregation-tree depth: single ToR vs 2-tier leaf-spine "
+                        "(4 leaves, 2 spines)",
+                        "multi-level trees reach the same end-to-end reduction while "
+                        "already shrinking traffic at the first hop (Figure 2's "
+                        "physical vs logical view)");
+
+    TextTable table{{"topology", "mode", "payload@reducers", "frames@reducers",
+                     "sim makespan (us)"}};
+    for (const bool leaf_spine : {false, true}) {
+        for (const auto mode : {ShuffleMode::kUdpNoAgg, ShuffleMode::kDaiet}) {
+            JobOptions opts;
+            opts.mode = mode;
+            opts.daiet.max_trees = cc.num_reducers;
+            opts.leaf_spine = leaf_spine;
+            opts.n_leaf = 4;
+            opts.n_spine = 2;
+            const auto result = run_wordcount_job(corpus, opts);
+            table.add_row({leaf_spine ? "leaf-spine" : "single ToR",
+                           std::string{to_string(mode)},
+                           std::to_string(result.total_payload_bytes_at_reducers()),
+                           std::to_string(result.total_frames_at_reducers()),
+                           TextTable::fmt(static_cast<double>(result.sim_duration) / 1e3,
+                                          1)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\n(identical reducer-side reduction in both topologies; the "
+                 "leaf-spine run additionally keeps aggregated traffic off the "
+                 "spine links)\n";
+    return 0;
+}

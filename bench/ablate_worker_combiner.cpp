@@ -1,0 +1,55 @@
+// Ablation A7 (§1): "the aggregation functions are only applied at the
+// worker-level, missing the opportunity of achieving better traffic
+// reduction ratios when applied at the network level."
+//
+// Four configurations on a skewed (Zipf) corpus: no aggregation,
+// worker-level combiner only, in-network only, and both. The combiner
+// can only merge duplicates *within one mapper*; the network merges
+// across all 8 mappers.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "mapreduce/job.hpp"
+
+int main() {
+    using namespace daiet;
+    using namespace daiet::bench;
+    using namespace daiet::mr;
+
+    CorpusConfig cc;
+    cc.total_words = scaled(200'000);
+    cc.vocabulary_size = scaled(24'000);
+    cc.num_mappers = 8;
+    cc.num_reducers = 4;
+    cc.zipf_exponent = 0.8;  // skew gives the combiner something to do
+    const Corpus corpus{cc};
+
+    print_figure_banner(std::cout, "Ablation A7",
+                        "worker-level combiner vs in-network aggregation "
+                        "(Zipf 0.8 corpus, 8 mappers)",
+                        "the combiner helps, in-network aggregation helps more, and "
+                        "they compose");
+
+    TextTable table{{"configuration", "pairs shuffled", "pairs@reducers",
+                     "payload@reducers", "frames@reducers"}};
+    const auto run = [&](const std::string& name, ShuffleMode mode, bool combiner) {
+        JobOptions opts;
+        opts.mode = mode;
+        opts.daiet.max_trees = cc.num_reducers;
+        opts.worker_combiner = combiner;
+        const auto result = run_wordcount_job(corpus, opts);
+        std::uint64_t pairs = 0;
+        for (const auto& r : result.reducers) pairs += r.pairs_received;
+        table.add_row({name, std::to_string(result.total_pairs_shuffled),
+                       std::to_string(pairs),
+                       std::to_string(result.total_payload_bytes_at_reducers()),
+                       std::to_string(result.total_frames_at_reducers())});
+    };
+    run("no aggregation", ShuffleMode::kUdpNoAgg, false);
+    run("worker combiner only", ShuffleMode::kUdpNoAgg, true);
+    run("in-network only", ShuffleMode::kDaiet, false);
+    run("combiner + in-network", ShuffleMode::kDaiet, true);
+    table.print(std::cout);
+    return 0;
+}

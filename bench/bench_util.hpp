@@ -1,0 +1,27 @@
+// Helpers shared by the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace daiet::bench {
+
+/// Experiment scale factor from the environment (DAIET_SCALE, default
+/// 1.0): scales corpus sizes, graph scale, step counts, so the same
+/// binaries can run laptop-quick or paper-sized.
+inline double scale_factor() {
+    if (const char* env = std::getenv("DAIET_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0.0) return v;
+    }
+    return 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+    return static_cast<std::size_t>(static_cast<double>(base) * scale_factor());
+}
+
+}  // namespace daiet::bench

@@ -1,0 +1,59 @@
+// Shared driver for the Figure 1(a)/1(b) update-overlap experiments.
+#pragma once
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "ml/training.hpp"
+
+namespace daiet::bench {
+
+inline void run_overlap_experiment(const std::string& figure,
+                                   ml::OptimizerKind optimizer,
+                                   std::size_t batch_size,
+                                   const std::string& expectation) {
+    ml::TrainingConfig cfg;
+    cfg.optimizer = optimizer;
+    cfg.batch_size = batch_size;
+    cfg.num_workers = 5;
+    cfg.steps = scaled(200);
+
+    print_figure_banner(std::cout, figure,
+                        (optimizer == ml::OptimizerKind::kSgd
+                             ? std::string{"SGD update overlap"}
+                             : std::string{"Adam update overlap"}) +
+                            " vs training step (5 workers, mini-batch " +
+                            std::to_string(batch_size) + ", synthetic MNIST)",
+                        expectation);
+
+    const auto result = ml::train_parameter_server(cfg);
+
+    TextTable table{{"step", "overlap", "union_elems", "total_updates",
+                     "traffic_reduction", "loss"}};
+    const std::size_t stride = std::max<std::size_t>(1, result.steps.size() / 20);
+    for (std::size_t i = 0; i < result.steps.size(); i += stride) {
+        const auto& s = result.steps[i];
+        table.add_row({std::to_string(s.step), TextTable::pct(s.overlap),
+                       std::to_string(s.union_elements),
+                       std::to_string(s.total_updates),
+                       TextTable::pct(s.traffic_reduction),
+                       TextTable::fmt(s.loss, 3)});
+    }
+    table.print(std::cout);
+
+    Samples overlaps;
+    for (const auto& s : result.steps) overlaps.add(s.overlap);
+    std::cout << "\nmeasured: mean overlap " << TextTable::pct(result.mean_overlap)
+              << ", range [" << TextTable::pct(overlaps.min()) << ", "
+              << TextTable::pct(overlaps.max()) << "]"
+              << ", mean achievable traffic reduction "
+              << TextTable::pct(result.mean_traffic_reduction) << "\n";
+    std::cout << "training sanity: loss " << TextTable::fmt(result.initial_loss, 3)
+              << " -> " << TextTable::fmt(result.final_loss, 3)
+              << ", held-out accuracy " << TextTable::pct(result.final_accuracy)
+              << "\n\n";
+}
+
+}  // namespace daiet::bench

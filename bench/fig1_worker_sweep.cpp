@@ -1,0 +1,35 @@
+// Section 3 in-text claim: "We also experimented while increasing the
+// number of workers from two to five (without changing the mini-batch
+// size), and observed that the overlap increases."
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "ml/training.hpp"
+
+int main() {
+    using namespace daiet;
+    using namespace daiet::bench;
+
+    print_figure_banner(std::cout, "Section 3 (in-text)",
+                        "update overlap vs number of workers (SGD b=3 and Adam b=100)",
+                        "overlap increases with the number of workers");
+
+    TextTable table{{"workers", "overlap (SGD b=3)", "overlap (Adam b=100)"}};
+    for (const std::size_t workers : {2, 3, 4, 5}) {
+        ml::TrainingConfig sgd;
+        sgd.num_workers = workers;
+        sgd.optimizer = ml::OptimizerKind::kSgd;
+        sgd.batch_size = 3;
+        sgd.steps = scaled(100);
+        ml::TrainingConfig adam = sgd;
+        adam.optimizer = ml::OptimizerKind::kAdam;
+        adam.batch_size = 100;
+        adam.steps = scaled(60);
+        table.add_row({std::to_string(workers),
+                       TextTable::pct(ml::train_parameter_server(sgd).mean_overlap),
+                       TextTable::pct(ml::train_parameter_server(adam).mean_overlap)});
+    }
+    table.print(std::cout);
+    return 0;
+}

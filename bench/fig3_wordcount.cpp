@@ -1,0 +1,112 @@
+// Figure 3: "Reduction on the amount of data, running time and number
+// of packets received at reducers."
+//
+// The full §5 prototype experiment: a WordCount job with 24 mappers and
+// 12 reducers shuffles its map output through (i) the original
+// TCP-based exchange, (ii) UDP with the DAIET protocol but no switch
+// aggregation, and (iii) DAIET on a programmable ToR with 16K-entry
+// registers, 16 B keys + 4 B values and at most 10 pairs per packet.
+// Per reducer we report the relative reduction DAIET achieves, and the
+// box plot over the 12 reducers reproduces the figure.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "mapreduce/job.hpp"
+
+int main() {
+    using namespace daiet;
+    using namespace daiet::bench;
+    using namespace daiet::mr;
+
+    CorpusConfig cc;  // paper-shaped defaults (scaled corpus, same multiplicity)
+    cc.total_words = scaled(1'200'000);
+    cc.vocabulary_size = scaled(144'000);
+    const Corpus corpus{cc};
+
+    print_figure_banner(
+        std::cout, "Figure 3",
+        "WordCount shuffle: 24 mappers, 12 reducers, " +
+            std::to_string(corpus.total_text_bytes() / (1 << 20)) +
+            " MiB of input text, 16K-entry registers, 10 pairs/packet",
+        "data volume -86.9..-89.3% (median ~88%); reduce time median -83.6%; "
+        "packets vs UDP -88.1..-90.5% (median 90.5%); packets vs TCP median -42%");
+
+    JobOptions options;
+    options.mode = ShuffleMode::kTcpBaseline;
+    const auto tcp = run_wordcount_job(corpus, options);
+    options.mode = ShuffleMode::kUdpNoAgg;
+    const auto udp = run_wordcount_job(corpus, options);
+    options.mode = ShuffleMode::kDaiet;
+    const auto daiet_run = run_wordcount_job(corpus, options);
+
+    // Per-reducer relative reductions (the 12 samples behind each box).
+    Samples data_volume;
+    Samples reduce_time;
+    Samples packets_vs_udp;
+    Samples packets_vs_tcp;
+    TextTable per_reducer{{"reducer", "data_volume", "reduce_time", "pkts_vs_udp",
+                           "pkts_vs_tcp"}};
+    for (std::size_t r = 0; r < daiet_run.reducers.size(); ++r) {
+        const auto& d = daiet_run.reducers[r];
+        const auto& t = tcp.reducers[r];
+        const auto& u = udp.reducers[r];
+        const double dv = 1.0 - static_cast<double>(d.payload_bytes_received) /
+                                    static_cast<double>(t.payload_bytes_received);
+        const double rt = 1.0 - d.reduce_seconds / t.reduce_seconds;
+        const double pu = 1.0 - static_cast<double>(d.frames_received) /
+                                    static_cast<double>(u.frames_received);
+        const double pt = 1.0 - static_cast<double>(d.frames_received) /
+                                    static_cast<double>(t.frames_received);
+        data_volume.add(dv);
+        reduce_time.add(rt);
+        packets_vs_udp.add(pu);
+        packets_vs_tcp.add(pt);
+        per_reducer.add_row({std::to_string(r), TextTable::pct(dv),
+                             TextTable::pct(rt), TextTable::pct(pu),
+                             TextTable::pct(pt)});
+    }
+    per_reducer.print(std::cout);
+
+    std::cout << "\nbox plots (reduction across the 12 reducers):\n";
+    TextTable boxes{{"metric", "min", "q1", "median", "q3", "max", "paper"}};
+    const auto row = [&](const std::string& name, const Samples& s,
+                         const std::string& paper) {
+        const auto b = BoxPlot::of(s);
+        boxes.add_row({name, TextTable::pct(b.min), TextTable::pct(b.q1),
+                       TextTable::pct(b.median), TextTable::pct(b.q3),
+                       TextTable::pct(b.max), paper});
+    };
+    row("data volume", data_volume, "86.9%..89.3%, median ~88%");
+    row("reduce time", reduce_time, "median 83.6%");
+    row("# packets (UDP baseline)", packets_vs_udp, "88.1%..90.5%, median 90.5%");
+    row("# packets (TCP baseline)", packets_vs_tcp, "median 42%");
+    boxes.print(std::cout);
+
+    std::cout << "\naggregate view:\n";
+    TextTable agg{{"mode", "pairs shuffled", "pairs@reducers", "payload@reducers",
+                   "frames@reducers", "reduce total (ms)"}};
+    for (const auto* job : {&tcp, &udp, &daiet_run}) {
+        std::uint64_t pairs = 0;
+        double reduce_ms = 0.0;
+        for (const auto& r : job->reducers) {
+            pairs += r.pairs_received;
+            reduce_ms += r.reduce_seconds * 1e3;
+        }
+        agg.add_row({std::string{to_string(job->mode)},
+                     std::to_string(job->total_pairs_shuffled), std::to_string(pairs),
+                     std::to_string(job->total_payload_bytes_at_reducers()),
+                     std::to_string(job->total_frames_at_reducers()),
+                     TextTable::fmt(reduce_ms, 1)});
+    }
+    agg.print(std::cout);
+
+    std::cout << "\nswitch: SRAM used "
+              << TextTable::fmt(
+                     static_cast<double>(daiet_run.switch_sram_used_bytes) / (1 << 20), 2)
+              << " MiB (paper estimates ~10 MB for this configuration), "
+              << daiet_run.switch_recirculations
+              << " recirculations spent draining registers on END\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+// Microbenchmarks of the dataplane pipeline model (§2 constraints):
+// per-packet cost of the DAIET program, plain forwarding, and the
+// recirculation-based flush.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/pipeline_program.hpp"
+
+namespace {
+
+using namespace daiet;
+
+struct PipelineHarness {
+    Config cfg;
+    dp::PipelineSwitch chip;
+    std::shared_ptr<DaietSwitchProgram> program;
+
+    PipelineHarness() : chip{"bench", make_switch_config()} {
+        cfg.register_size = 16 * 1024;
+        cfg.max_trees = 1;
+        program = load_daiet_program(cfg, chip);
+        TreeRule rule;
+        rule.fn = AggFnId::kSumI32;
+        rule.num_children = 1;
+        rule.out_port = 1;
+        rule.flush_dst = 99;
+        program->configure_tree(1, rule);
+        program->install_route(50, {2});
+    }
+
+    static dp::SwitchConfig make_switch_config() {
+        dp::SwitchConfig sc;
+        sc.num_ports = 4;
+        sc.sram_bytes = 64 << 20;
+        return sc;
+    }
+
+    std::vector<std::byte> daiet_frame(std::uint64_t salt) {
+        Rng rng{salt};
+        std::vector<KvPair> pairs;
+        for (int i = 0; i < 10; ++i) {
+            pairs.push_back(KvPair{Key16::from_u64(rng.next_u64() | 1),
+                                   wire_from_i32(1)});
+        }
+        return sim::build_udp_frame(10, 99, cfg.mapper_udp_port, cfg.udp_port,
+                                    serialize_data(1, pairs));
+    }
+};
+
+/// Full parse + Algorithm-1 processing of a 10-pair DATA packet.
+void BM_DaietDataPacket(benchmark::State& state) {
+    PipelineHarness h;
+    std::uint64_t salt = 0;
+    for (auto _ : state) {
+        auto frame = h.daiet_frame(salt++ % 1024);
+        benchmark::DoNotOptimize(h.chip.receive(dp::Packet{std::move(frame)}, 0));
+    }
+    // 10 pairs per packet.
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_DaietDataPacket);
+
+/// Plain L2 forwarding through the same program (route table + ECMP).
+void BM_PlainForwarding(benchmark::State& state) {
+    PipelineHarness h;
+    const auto frame = sim::build_udp_frame(10, 50, 1234, 80,
+                                            as_bytes("0123456789abcdef"));
+    for (auto _ : state) {
+        auto copy = frame;
+        benchmark::DoNotOptimize(h.chip.receive(dp::Packet{std::move(copy)}, 0));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PlainForwarding);
+
+/// END-triggered flush: one recirculation pass per 10 held pairs.
+void BM_EndFlushRecirculation(benchmark::State& state) {
+    const auto held = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        PipelineHarness h;
+        Rng rng{3};
+        std::vector<KvPair> pairs;
+        for (std::size_t i = 0; i < held; ++i) {
+            pairs.push_back(KvPair{Key16::from_u64(rng.next_u64() | 1),
+                                   wire_from_i32(1)});
+        }
+        for (std::size_t off = 0; off < pairs.size(); off += 10) {
+            const auto n = std::min<std::size_t>(10, pairs.size() - off);
+            auto frame = sim::build_udp_frame(
+                10, 99, h.cfg.mapper_udp_port, h.cfg.udp_port,
+                serialize_data(1, std::span{pairs}.subspan(off, n)));
+            h.chip.receive(dp::Packet{std::move(frame)}, 0);
+        }
+        auto end_frame = sim::build_udp_frame(10, 99, h.cfg.mapper_udp_port,
+                                              h.cfg.udp_port, serialize_end(1));
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(h.chip.receive(dp::Packet{std::move(end_frame)}, 0));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(held));
+}
+BENCHMARK(BM_EndFlushRecirculation)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Ablation A6: microbenchmarks of the per-pair switch work
+// (google-benchmark). These measure the *model's* software throughput;
+// on hardware every pair is a pipeline-stage traversal at line rate.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/switch_agent.hpp"
+
+namespace {
+
+using namespace daiet;
+
+std::vector<KvPair> make_pairs(std::size_t n, std::size_t vocab, std::uint64_t seed) {
+    Rng rng{seed};
+    std::vector<KvPair> pairs;
+    pairs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pairs.push_back(KvPair{Key16{"w" + std::to_string(rng.next_below(vocab))},
+                               wire_from_i32(1)});
+    }
+    return pairs;
+}
+
+/// Pairs/second through Algorithm 1 at varying register pressure.
+void BM_AgentOnData(benchmark::State& state) {
+    Config cfg;
+    cfg.register_size = static_cast<std::size_t>(state.range(0));
+    cfg.max_trees = 1;
+    const auto pairs = make_pairs(10'000, cfg.register_size / 2 + 16, 42);
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        SwitchAgent agent{cfg};
+        agent.configure_tree(1, AggFnId::kSumI32, 1);
+        state.ResumeTiming();
+        for (std::size_t off = 0; off < pairs.size(); off += 10) {
+            benchmark::DoNotOptimize(
+                agent.on_data(1, std::span{pairs}.subspan(off, 10)));
+        }
+        benchmark::DoNotOptimize(agent.on_end(1));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(pairs.size()));
+}
+BENCHMARK(BM_AgentOnData)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
+
+/// The switch-side hash path in isolation.
+void BM_RegisterIndexHash(benchmark::State& state) {
+    const auto pairs = make_pairs(4096, 4096, 7);
+    Config cfg;
+    SwitchAgent agent{cfg};
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(agent.index_of(pairs[i % pairs.size()].key));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegisterIndexHash);
+
+/// END-flush cost as a function of held state.
+void BM_AgentFlush(benchmark::State& state) {
+    Config cfg;
+    cfg.register_size = 65536;
+    cfg.max_trees = 1;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto pairs = make_pairs(n * 4, n, 11);
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        SwitchAgent agent{cfg};
+        agent.configure_tree(1, AggFnId::kSumI32, 1);
+        for (std::size_t off = 0; off + 10 <= pairs.size(); off += 10) {
+            agent.on_data(1, std::span{pairs}.subspan(off, 10));
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(agent.on_end(1));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AgentFlush)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

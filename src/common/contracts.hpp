@@ -1,0 +1,29 @@
+// Minimal contract-checking support in the spirit of the C++ Core
+// Guidelines' Expects()/Ensures() (I.5..I.8). Violations indicate a
+// programming error, never a data error, so they terminate.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace daiet::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) noexcept {
+    std::fprintf(stderr, "daiet: %s violation: (%s) at %s:%d\n", kind, expr, file, line);
+    std::abort();
+}
+
+}  // namespace daiet::detail
+
+#define DAIET_EXPECTS(cond)                                                          \
+    ((cond) ? static_cast<void>(0)                                                   \
+            : ::daiet::detail::contract_failure("precondition", #cond, __FILE__, __LINE__))
+
+#define DAIET_ENSURES(cond)                                                          \
+    ((cond) ? static_cast<void>(0)                                                   \
+            : ::daiet::detail::contract_failure("postcondition", #cond, __FILE__, __LINE__))
+
+#define DAIET_ASSERT(cond)                                                           \
+    ((cond) ? static_cast<void>(0)                                                   \
+            : ::daiet::detail::contract_failure("assertion", #cond, __FILE__, __LINE__))

@@ -1,0 +1,33 @@
+#include "common/hash.hpp"
+
+namespace daiet {
+
+const std::array<std::uint32_t, 256>& Crc32::table() noexcept {
+    static const std::array<std::uint32_t, 256> t = [] {
+        std::array<std::uint32_t, 256> out{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1U) ? 0xedb88320U ^ (c >> 1) : (c >> 1);
+            }
+            out[i] = c;
+        }
+        return out;
+    }();
+    return t;
+}
+
+std::uint32_t Crc32::compute(std::span<const std::byte> data) noexcept {
+    const auto& t = table();
+    std::uint32_t c = 0xffffffffU;
+    for (const std::byte b : data) {
+        c = t[(c ^ static_cast<std::uint32_t>(b)) & 0xffU] ^ (c >> 8);
+    }
+    return c ^ 0xffffffffU;
+}
+
+std::uint32_t Crc32::compute(std::string_view s) noexcept {
+    return compute(std::as_bytes(std::span{s.data(), s.size()}));
+}
+
+}  // namespace daiet

@@ -1,0 +1,55 @@
+// Hash functions used across the repository.
+//
+// The dataplane register index is derived from a CRC-32-style hash,
+// mirroring the hash primitives that RMT/P4 targets expose (the paper's
+// Algorithm 1, line 5: idx <- Hash(pair.key)). Host code uses FNV-1a.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace daiet {
+
+/// FNV-1a, 64-bit. Good general-purpose host-side hash.
+constexpr std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::byte b : data) {
+        h ^= static_cast<std::uint64_t>(b);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+/// This is the hash flavour P4 targets typically provide for
+/// register indexing, so the in-switch code path uses it.
+class Crc32 {
+public:
+    static std::uint32_t compute(std::span<const std::byte> data) noexcept;
+    static std::uint32_t compute(std::string_view s) noexcept;
+
+private:
+    static const std::array<std::uint32_t, 256>& table() noexcept;
+};
+
+/// 64->64 bit finalizer (splitmix-style); cheap integer mixing for
+/// partitioners and synthetic key generation.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace daiet

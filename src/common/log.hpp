@@ -1,0 +1,57 @@
+// Minimal leveled logger. Experiments print their results through the
+// table helpers; the logger is for diagnostics only and is silent at the
+// default level so benchmark output stays machine-parsable.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace daiet {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace detail {
+inline LogLevel& log_level_ref() noexcept {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) noexcept { detail::log_level_ref() = level; }
+inline LogLevel log_level() noexcept { return detail::log_level_ref(); }
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args&&... args) {
+    if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+    constexpr const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+    std::fprintf(stderr, "[daiet %s] ", names[static_cast<int>(level)]);
+    if constexpr (sizeof...(Args) == 0) {
+        std::fputs(fmt, stderr);
+    } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+        std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+    }
+    std::fputc('\n', stderr);
+}
+
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+    log(LogLevel::kError, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+    log(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+    log(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+    log(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace daiet

@@ -1,0 +1,28 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daiet {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_{s} {
+    DAIET_EXPECTS(n > 0);
+    DAIET_EXPECTS(s >= 0.0);
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = acc;
+    }
+    const double total = acc;
+    for (auto& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against round-off at the tail
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const noexcept {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace daiet

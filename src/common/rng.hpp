@@ -1,0 +1,157 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component in this repository draws from one of these
+// generators with an explicit seed, so that experiments reproduce
+// bit-for-bit across runs and machines (DESIGN.md §4 "Determinism").
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace daiet {
+
+/// SplitMix64: tiny, fast generator used to seed larger states and to
+/// derive independent child seeds from a single master seed.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) noexcept : state_{seed} {}
+
+    std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse generator. Satisfies the requirements of
+/// std::uniform_random_bit_generator so it can feed <random> distributions,
+/// but we provide the few distributions we need directly to avoid
+/// libstdc++-version-dependent streams.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed) noexcept {
+        SplitMix64 sm{seed};
+        for (auto& s : s_) s = sm.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept { return next_u64(); }
+
+    std::uint64_t next_u64() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound). bound must be > 0.
+    std::uint64_t next_below(std::uint64_t bound) noexcept {
+        DAIET_EXPECTS(bound > 0);
+        // Lemire's nearly-divisionless unbiased bounded generation.
+        std::uint64_t x = next_u64();
+        __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        auto l = static_cast<std::uint64_t>(m);
+        if (l < bound) {
+            const std::uint64_t t = (0 - bound) % bound;
+            while (l < t) {
+                x = next_u64();
+                m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in the closed interval [lo, hi].
+    std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+        DAIET_EXPECTS(lo <= hi);
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(next_below(span));
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() noexcept {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli trial with success probability p in [0, 1].
+    bool next_bool(double p) noexcept { return next_double() < p; }
+
+    /// Standard normal via Marsaglia polar method.
+    double next_gaussian() noexcept {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u = 0.0;
+        double v = 0.0;
+        double s = 0.0;
+        do {
+            u = 2.0 * next_double() - 1.0;
+            v = 2.0 * next_double() - 1.0;
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double mul = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * mul;
+        have_spare_ = true;
+        return u * mul;
+    }
+
+    /// Derive an independent child generator (for per-worker streams).
+    Rng fork() noexcept { return Rng{next_u64()}; }
+
+    /// Fisher-Yates shuffle of a vector.
+    template <typename T>
+    void shuffle(std::vector<T>& v) noexcept {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            using std::swap;
+            swap(v[i - 1], v[next_below(i)]);
+        }
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4]{};
+    double spare_{0.0};
+    bool have_spare_{false};
+};
+
+/// Zipf(s) sampler over ranks {0, 1, ..., n-1} (rank 0 most frequent).
+/// Uses the inverse-CDF over a precomputed table; O(log n) per sample.
+class ZipfSampler {
+public:
+    ZipfSampler(std::size_t n, double s);
+
+    std::size_t operator()(Rng& rng) const noexcept;
+
+    std::size_t size() const noexcept { return cdf_.size(); }
+    double exponent() const noexcept { return s_; }
+
+private:
+    std::vector<double> cdf_;
+    double s_;
+};
+
+}  // namespace daiet

@@ -1,0 +1,126 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace daiet {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double Samples::mean() const noexcept {
+    if (xs_.empty()) return 0.0;
+    return sum() / static_cast<double>(xs_.size());
+}
+
+double Samples::sum() const noexcept {
+    return std::accumulate(xs_.begin(), xs_.end(), 0.0);
+}
+
+void Samples::sort_if_needed() const {
+    if (!sorted_) {
+        std::sort(xs_.begin(), xs_.end());
+        sorted_ = true;
+    }
+}
+
+double Samples::percentile(double p) const {
+    DAIET_EXPECTS(p >= 0.0 && p <= 100.0);
+    DAIET_EXPECTS(!xs_.empty());
+    sort_if_needed();
+    if (xs_.size() == 1) return xs_.front();
+    const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= xs_.size()) return xs_.back();
+    return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+BoxPlot BoxPlot::of(const Samples& s) {
+    DAIET_EXPECTS(!s.empty());
+    BoxPlot b;
+    b.min = s.percentile(0.0);
+    b.q1 = s.percentile(25.0);
+    b.median = s.percentile(50.0);
+    b.q3 = s.percentile(75.0);
+    b.max = s.percentile(100.0);
+    b.mean = s.mean();
+    b.n = s.count();
+    return b;
+}
+
+std::string BoxPlot::to_string(int precision) const {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "min=%.*f q1=%.*f median=%.*f q3=%.*f max=%.*f (mean=%.*f, n=%zu)",
+                  precision, min, precision, q1, precision, median, precision, q3,
+                  precision, max, precision, mean, n);
+    return std::string{buf};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_{lo}, hi_{hi}, counts_(buckets, 0) {
+    DAIET_EXPECTS(hi > lo);
+    DAIET_EXPECTS(buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::int64_t>((x - lo_) / w);
+    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+    DAIET_EXPECTS(i < counts_.size());
+    return counts_[i];
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+    DAIET_EXPECTS(i < counts_.size());
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + w * static_cast<double>(i);
+}
+
+}  // namespace daiet

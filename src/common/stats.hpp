@@ -1,0 +1,100 @@
+// Descriptive statistics used by the experiment harnesses: running
+// moments, exact percentiles over stored samples, and the five-number
+// summary that backs the paper's Figure 3 box plot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace daiet {
+
+/// Online mean/variance (Welford) plus min/max; O(1) memory.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    std::size_t count() const noexcept { return n_; }
+    double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+    double variance() const noexcept;  ///< sample variance (n-1 denominator)
+    double stddev() const noexcept;
+    double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+    double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+    double sum() const noexcept { return sum_; }
+
+    void merge(const RunningStats& other) noexcept;
+
+private:
+    std::size_t n_{0};
+    double mean_{0.0};
+    double m2_{0.0};
+    double min_{0.0};
+    double max_{0.0};
+    double sum_{0.0};
+};
+
+/// Stores samples; provides exact order statistics.
+class Samples {
+public:
+    void add(double x) { xs_.push_back(x); }
+    void reserve(std::size_t n) { xs_.reserve(n); }
+
+    std::size_t count() const noexcept { return xs_.size(); }
+    bool empty() const noexcept { return xs_.empty(); }
+    double mean() const noexcept;
+    double sum() const noexcept;
+
+    /// Exact percentile with linear interpolation, p in [0, 100].
+    double percentile(double p) const;
+
+    double min() const { return percentile(0.0); }
+    double median() const { return percentile(50.0); }
+    double max() const { return percentile(100.0); }
+
+    const std::vector<double>& values() const noexcept { return xs_; }
+
+private:
+    mutable std::vector<double> xs_;
+    mutable bool sorted_{false};
+
+    void sort_if_needed() const;
+};
+
+/// Five-number summary (plus mean) of a sample set — one box of a box plot.
+struct BoxPlot {
+    double min{0.0};
+    double q1{0.0};
+    double median{0.0};
+    double q3{0.0};
+    double max{0.0};
+    double mean{0.0};
+    std::size_t n{0};
+
+    static BoxPlot of(const Samples& s);
+
+    /// "min=.. q1=.. median=.. q3=.. max=.." with fixed precision.
+    std::string to_string(int precision = 2) const;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp
+/// into the first/last bucket.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x) noexcept;
+
+    std::size_t bucket_count() const noexcept { return counts_.size(); }
+    std::uint64_t bucket(std::size_t i) const;
+    double bucket_low(std::size_t i) const;
+    std::uint64_t total() const noexcept { return total_; }
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_{0};
+};
+
+}  // namespace daiet

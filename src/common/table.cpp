@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace daiet {
+
+TextTable::TextTable(std::vector<std::string> header) : header_{std::move(header)} {
+    DAIET_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    DAIET_EXPECTS(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size()) {
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+            }
+        }
+        out << '\n';
+    };
+    emit_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return out.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+std::string TextTable::fmt(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return std::string{buf};
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+    return std::string{buf};
+}
+
+void print_figure_banner(std::ostream& os, const std::string& figure_id,
+                         const std::string& description,
+                         const std::string& paper_expectation) {
+    const std::string bar(78, '=');
+    os << bar << '\n'
+       << figure_id << ": " << description << '\n'
+       << "paper reports: " << paper_expectation << '\n'
+       << bar << '\n';
+}
+
+}  // namespace daiet

@@ -1,0 +1,40 @@
+// Plain-text table/series printers shared by the benchmark harnesses so
+// every figure reproduction has a uniform, diff-able output format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace daiet {
+
+/// Column-aligned text table.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+
+    /// Render with a header underline and two-space column gaps.
+    std::string render() const;
+
+    void print(std::ostream& os) const;
+
+    std::size_t rows() const noexcept { return rows_.size(); }
+
+    /// Format helpers.
+    static std::string fmt(double v, int precision = 3);
+    static std::string pct(double fraction, int precision = 1);  ///< 0.885 -> "88.5%"
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a figure banner: experiment id, paper reference and expectation.
+void print_figure_banner(std::ostream& os, const std::string& figure_id,
+                         const std::string& description,
+                         const std::string& paper_expectation);
+
+}  // namespace daiet

@@ -1,0 +1,113 @@
+// Aggregation functions.
+//
+// The paper restricts in-network aggregation to commutative and
+// associative combiners (§1): they "can be applied separately on
+// different portions of the input data, disregarding the order, without
+// affecting the correctness of the final result". Values travel as raw
+// 32-bit cells; the function id chosen by the controller tells the
+// switch ALU how to interpret and combine them.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace daiet {
+
+/// Wire representation of a value: 32 raw bits (paper: "a 4 B integer
+/// value"; SHArP-style targets add limited float support, which we model
+/// with an f32 interpretation).
+using WireValue = std::uint32_t;
+
+enum class AggFnId : std::uint8_t {
+    kSumI32 = 0,  ///< signed 32-bit integer sum (WordCount, PageRank counts)
+    kSumF32 = 1,  ///< float sum (ML gradient aggregation)
+    kMinI32 = 2,  ///< signed minimum (SSSP distances, WCC labels)
+    kMaxI32 = 3,  ///< signed maximum
+    kCount = 4,   ///< occurrence count (ignores the incoming value)
+};
+
+constexpr std::string_view to_string(AggFnId fn) noexcept {
+    switch (fn) {
+        case AggFnId::kSumI32: return "sum_i32";
+        case AggFnId::kSumF32: return "sum_f32";
+        case AggFnId::kMinI32: return "min_i32";
+        case AggFnId::kMaxI32: return "max_i32";
+        case AggFnId::kCount: return "count";
+    }
+    return "unknown";
+}
+
+/// Encode/decode helpers between typed values and wire cells.
+constexpr WireValue wire_from_i32(std::int32_t v) noexcept {
+    return static_cast<WireValue>(v);
+}
+constexpr std::int32_t i32_from_wire(WireValue w) noexcept {
+    return static_cast<std::int32_t>(w);
+}
+inline WireValue wire_from_f32(float v) noexcept { return std::bit_cast<WireValue>(v); }
+inline float f32_from_wire(WireValue w) noexcept { return std::bit_cast<float>(w); }
+
+/// The value an empty register cell contributes: combine(identity, v) == v.
+constexpr WireValue identity_of(AggFnId fn) noexcept {
+    switch (fn) {
+        case AggFnId::kSumI32: return wire_from_i32(0);
+        case AggFnId::kSumF32: return 0;  // +0.0f bit pattern
+        case AggFnId::kMinI32:
+            return wire_from_i32(std::numeric_limits<std::int32_t>::max());
+        case AggFnId::kMaxI32:
+            return wire_from_i32(std::numeric_limits<std::int32_t>::min());
+        case AggFnId::kCount: return wire_from_i32(0);
+    }
+    return 0;
+}
+
+/// combine(stored, incoming): the single-ALU-op update a switch applies
+/// per pair (Algorithm 1, line 11: updateValue). Commutative and
+/// associative for every AggFnId, by construction.
+inline WireValue combine(AggFnId fn, WireValue stored, WireValue incoming) noexcept {
+    switch (fn) {
+        case AggFnId::kSumI32:
+            return wire_from_i32(static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(i32_from_wire(stored)) +
+                static_cast<std::uint32_t>(i32_from_wire(incoming))));
+        case AggFnId::kSumF32:
+            return wire_from_f32(f32_from_wire(stored) + f32_from_wire(incoming));
+        case AggFnId::kMinI32:
+            return wire_from_i32(
+                i32_from_wire(stored) < i32_from_wire(incoming) ? i32_from_wire(stored)
+                                                                : i32_from_wire(incoming));
+        case AggFnId::kMaxI32:
+            return wire_from_i32(
+                i32_from_wire(stored) > i32_from_wire(incoming) ? i32_from_wire(stored)
+                                                                : i32_from_wire(incoming));
+        case AggFnId::kCount:
+            return wire_from_i32(i32_from_wire(stored) + 1);
+    }
+    return stored;
+}
+
+/// The value a *fresh* pair contributes when first stored (Algorithm 1,
+/// line 8). For kCount this is 1 regardless of the carried value.
+inline WireValue first_value(AggFnId fn, WireValue incoming) noexcept {
+    return fn == AggFnId::kCount ? wire_from_i32(1) : incoming;
+}
+
+/// Register index derivation from the switch hash unit's CRC output.
+///
+/// CRC-32 alone is GF(2)-linear: keys that differ only in a few byte
+/// positions (e.g. sequential tensor indices in ML jobs) map into a
+/// low-rank subspace and collapse onto a handful of register cells. A
+/// multiplicative finalizer breaks the linearity; P4 targets realize
+/// the same effect by folding the CRC through a second hash stage (one
+/// extra ALU/hash operation, which callers account for).
+constexpr std::size_t register_index_from_crc(std::uint32_t crc,
+                                              std::size_t register_size) noexcept {
+    std::uint64_t z = crc;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>((z ^ (z >> 31)) % register_size);
+}
+
+}  // namespace daiet

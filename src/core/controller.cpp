@@ -1,0 +1,175 @@
+#include "core/controller.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace daiet {
+
+namespace {
+
+struct Adjacency {
+    struct Edge {
+        sim::PortId port;
+        sim::NodeId peer;
+    };
+    std::vector<std::vector<Edge>> edges;
+
+    explicit Adjacency(const sim::Network& net) : edges(net.nodes().size()) {
+        for (const auto& link : net.links()) {
+            sim::Node& a = link->peer_of(1);
+            sim::Node& b = link->peer_of(0);
+            edges[a.id()].push_back({link->peer_port(1), b.id()});
+            edges[b.id()].push_back({link->peer_port(0), a.id()});
+        }
+    }
+
+    /// Port on `from` that reaches `to` directly (first matching link).
+    sim::PortId port_towards(sim::NodeId from, sim::NodeId to) const {
+        for (const Edge& e : edges[from]) {
+            if (e.peer == to) return e.port;
+        }
+        throw std::runtime_error{"Controller: nodes are not adjacent"};
+    }
+};
+
+}  // namespace
+
+void Controller::register_program(sim::NodeId node,
+                                  std::shared_ptr<DaietSwitchProgram> program) {
+    DAIET_EXPECTS(program != nullptr);
+    programs_[node] = std::move(program);
+}
+
+DaietSwitchProgram* Controller::program_at(sim::NodeId node) const {
+    const auto it = programs_.find(node);
+    return it == programs_.end() ? nullptr : it->second.get();
+}
+
+const TreeLayout& Controller::setup_tree(const TreeSpec& spec) {
+    DAIET_EXPECTS(spec.reducer != nullptr);
+    DAIET_EXPECTS(!spec.mappers.empty());
+
+    const Adjacency adj{*net_};
+    const std::size_t n = net_->nodes().size();
+    constexpr auto kUnset = std::numeric_limits<sim::NodeId>::max();
+
+    // BFS from the reducer: parent[] points one hop towards the root,
+    // which makes every mapper-to-reducer path a shortest path and the
+    // union of paths a spanning tree (each node has a single parent).
+    std::vector<sim::NodeId> parent(n, kUnset);
+    std::vector<std::uint32_t> dist(n, std::numeric_limits<std::uint32_t>::max());
+    std::deque<sim::NodeId> queue;
+    const sim::NodeId root = spec.reducer->id();
+    dist[root] = 0;
+    queue.push_back(root);
+    while (!queue.empty()) {
+        const sim::NodeId u = queue.front();
+        queue.pop_front();
+        for (const auto& e : adj.edges[u]) {
+            if (dist[e.peer] == std::numeric_limits<std::uint32_t>::max()) {
+                dist[e.peer] = dist[u] + 1;
+                parent[e.peer] = u;
+                queue.push_back(e.peer);
+            }
+        }
+    }
+
+    TreeLayout layout;
+    layout.id = spec.id;
+
+    // Mark every switch that lies on some mapper's path to the root.
+    std::vector<bool> on_tree(n, false);
+    for (const sim::Host* mapper : spec.mappers) {
+        DAIET_EXPECTS(mapper != nullptr);
+        if (dist[mapper->id()] == std::numeric_limits<std::uint32_t>::max()) {
+            throw std::runtime_error{"Controller: mapper unreachable from reducer"};
+        }
+        for (sim::NodeId u = mapper->id(); u != root; u = parent[u]) {
+            on_tree[u] = true;
+        }
+    }
+
+    // Children counting with partial-deployment contraction: each END
+    // source (mapper, or enabled switch after it drains) travels up the
+    // parent chain until the first *enabled* switch, or the root.
+    auto nearest_enabled_above = [&](sim::NodeId start) -> sim::NodeId {
+        for (sim::NodeId u = parent[start]; u != kUnset && u != root; u = parent[u]) {
+            if (programs_.contains(u)) return u;
+        }
+        return root;
+    };
+
+    std::map<sim::NodeId, std::uint32_t> children;
+    for (const sim::Host* mapper : spec.mappers) {
+        const sim::NodeId sink = nearest_enabled_above(mapper->id());
+        if (sink == root) {
+            ++layout.reducer_expected_ends;
+        } else {
+            ++children[sink];
+        }
+    }
+    // Enabled switches on the tree also emit one END upwards when done.
+    for (sim::NodeId u = 0; u < n; ++u) {
+        if (!on_tree[u] || !programs_.contains(u)) continue;
+        const sim::NodeId sink = nearest_enabled_above(u);
+        if (sink == root) {
+            ++layout.reducer_expected_ends;
+        } else {
+            ++children[sink];
+        }
+    }
+
+    // Push rules to every enabled on-tree switch.
+    for (sim::NodeId u = 0; u < n; ++u) {
+        if (!on_tree[u] || !programs_.contains(u)) continue;
+        const auto cit = children.find(u);
+        // A switch with no children can only see spurious traffic;
+        // skip installing the tree there.
+        if (cit == children.end() || cit->second == 0) continue;
+        TreeRule rule;
+        rule.fn = spec.fn;
+        rule.num_children = cit->second;
+        rule.out_port = adj.port_towards(u, parent[u]);
+        rule.flush_dst = spec.reducer->addr();
+        programs_.at(u)->configure_tree(spec.id, rule);
+        layout.rules[u] = rule;
+    }
+
+    auto [it, inserted] = layouts_.insert_or_assign(spec.id, std::move(layout));
+    static_cast<void>(inserted);
+    return it->second;
+}
+
+void Controller::reset_tree(TreeId id) {
+    const auto it = layouts_.find(id);
+    if (it == layouts_.end()) {
+        throw std::runtime_error{"Controller: reset of unknown tree " + std::to_string(id)};
+    }
+    for (const auto& [node, rule] : it->second.rules) {
+        programs_.at(node)->reset_tree(id, rule.num_children);
+    }
+}
+
+void Controller::restart_tree(TreeId id) {
+    const auto it = layouts_.find(id);
+    if (it == layouts_.end()) {
+        throw std::runtime_error{"Controller: restart of unknown tree " +
+                                 std::to_string(id)};
+    }
+    for (const auto& [node, rule] : it->second.rules) {
+        programs_.at(node)->clear_tree(id, rule.num_children);
+    }
+}
+
+const TreeLayout& Controller::layout(TreeId id) const {
+    const auto it = layouts_.find(id);
+    if (it == layouts_.end()) {
+        throw std::runtime_error{"Controller: unknown tree " + std::to_string(id)};
+    }
+    return it->second;
+}
+
+}  // namespace daiet

@@ -1,0 +1,78 @@
+// Network controller (paper §4).
+//
+// "Prior to starting a job, the master allocates the map and reduce
+// tasks to the workers. This allocation information is exchanged with
+// the network controller. Then, the controller defines the aggregation
+// trees ... a spanning tree covering all the paths from all the mappers
+// to a reducer. There is one tree rooted at each reducer. The network
+// controller then configures the network devices, pushing a set of flow
+// rules, to perform the per-tree aggregation and forward the traffic
+// according to the tree."
+//
+// The controller also understands *partial deployments*: switches
+// without a DAIET program simply forward, and children counts are
+// computed over the nearest enabled ancestors, so correctness holds
+// with any subset of programmable switches (§2's "no worse than
+// without in-network computation").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pipeline_program.hpp"
+#include "netsim/network.hpp"
+
+namespace daiet {
+
+/// One aggregation tree: a reducer (root) fed by a set of mappers.
+struct TreeSpec {
+    TreeId id{0};
+    sim::Host* reducer{nullptr};
+    std::vector<sim::Host*> mappers;
+    AggFnId fn{AggFnId::kSumI32};
+};
+
+/// Where a tree was installed, for inspection and tests.
+struct TreeLayout {
+    TreeId id{0};
+    /// Per enabled-switch node id: the rule that was installed.
+    std::map<sim::NodeId, TreeRule> rules;
+    /// Number of END packets the reducer itself will observe.
+    std::uint32_t reducer_expected_ends{0};
+};
+
+class Controller {
+public:
+    explicit Controller(sim::Network& net, Config config = {})
+        : net_{&net}, config_{config} {}
+
+    /// Declare that `node` runs a DAIET program (enabled switch).
+    void register_program(sim::NodeId node, std::shared_ptr<DaietSwitchProgram> program);
+
+    /// Compute the aggregation tree for `spec` and push the flow rules.
+    /// Returns the layout (also retained for reset_tree).
+    const TreeLayout& setup_tree(const TreeSpec& spec);
+
+    /// Re-arm a previously configured tree for another round with the
+    /// same shape (iterative ML/graph workloads).
+    void reset_tree(TreeId id);
+
+    /// Recovery: discard any partial per-switch aggregation state for
+    /// the tree (even mid-stream) and re-arm it for a full resend.
+    void restart_tree(TreeId id);
+
+    const TreeLayout& layout(TreeId id) const;
+    DaietSwitchProgram* program_at(sim::NodeId node) const;
+
+private:
+    sim::Network* net_;
+    Config config_;
+    std::unordered_map<sim::NodeId, std::shared_ptr<DaietSwitchProgram>> programs_;
+    std::map<TreeId, TreeLayout> layouts_;
+};
+
+}  // namespace daiet

@@ -1,0 +1,75 @@
+#include "core/protocol.hpp"
+
+#include "common/contracts.hpp"
+
+namespace daiet {
+
+std::vector<std::byte> serialize_data(TreeId tree_id, std::span<const KvPair> pairs) {
+    DAIET_EXPECTS(!pairs.empty());
+    DAIET_EXPECTS(pairs.size() <= 255);
+    ByteWriter w;
+    w.put_u16(kDaietMagic);
+    w.put_u8(static_cast<std::uint8_t>(PacketType::kData));
+    w.put_u16(tree_id);
+    w.put_u8(static_cast<std::uint8_t>(pairs.size()));
+    for (const KvPair& p : pairs) {
+        w.put_bytes(p.key.bytes());
+        w.put_u32(p.value);
+    }
+    return w.take();
+}
+
+std::vector<std::byte> serialize_end(TreeId tree_id, std::uint32_t declared_pairs,
+                                     bool dirty) {
+    ByteWriter w;
+    w.put_u16(kDaietMagic);
+    w.put_u8(static_cast<std::uint8_t>(PacketType::kEnd));
+    w.put_u16(tree_id);
+    w.put_u8(0);
+    w.put_u32(declared_pairs);
+    w.put_u8(dirty ? 1 : 0);
+    return w.take();
+}
+
+DaietPacket parse_packet(std::span<const std::byte> payload) {
+    ByteReader r{payload};
+    const std::uint16_t magic = r.get_u16();
+    if (magic != kDaietMagic) {
+        throw BufferError{"not a DAIET packet (bad magic)"};
+    }
+    const auto type = static_cast<PacketType>(r.get_u8());
+    const TreeId tree_id = r.get_u16();
+    const std::uint8_t n = r.get_u8();
+
+    switch (type) {
+        case PacketType::kEnd: {
+            EndPacket end;
+            end.tree_id = tree_id;
+            end.declared_pairs = r.get_u32();
+            end.dirty = r.get_u8() != 0;
+            return end;
+        }
+        case PacketType::kData: {
+            if (n == 0) throw BufferError{"DATA packet with zero entries"};
+            DataPacket pkt;
+            pkt.tree_id = tree_id;
+            pkt.pairs.reserve(n);
+            for (std::uint8_t i = 0; i < n; ++i) {
+                KvPair p;
+                p.key = Key16{r.get_bytes(Key16::width)};
+                p.value = r.get_u32();
+                pkt.pairs.push_back(p);
+            }
+            return pkt;
+        }
+    }
+    throw BufferError{"unknown DAIET packet type"};
+}
+
+bool looks_like_daiet(std::span<const std::byte> payload) noexcept {
+    if (payload.size() < kPreambleSize) return false;
+    return static_cast<std::uint8_t>(payload[0]) == (kDaietMagic >> 8) &&
+           static_cast<std::uint8_t>(payload[1]) == (kDaietMagic & 0xff);
+}
+
+}  // namespace daiet

@@ -1,0 +1,37 @@
+#include "core/reliable.hpp"
+
+#include "common/contracts.hpp"
+
+namespace daiet {
+
+ReliableRunReport run_with_restart(sim::Network& net, Controller& controller,
+                                   const std::vector<TreeId>& trees,
+                                   const std::function<void()>& resend,
+                                   const std::function<bool()>& all_complete,
+                                   const std::function<void()>& reset_receivers,
+                                   std::size_t max_attempts) {
+    DAIET_EXPECTS(resend != nullptr);
+    DAIET_EXPECTS(all_complete != nullptr);
+    DAIET_EXPECTS(reset_receivers != nullptr);
+    DAIET_EXPECTS(max_attempts >= 1);
+
+    ReliableRunReport report;
+    for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        report.attempts = attempt;
+        if (attempt > 1) {
+            // Wipe any partial aggregation state before replaying; the
+            // receivers likewise start from scratch.
+            for (const TreeId tree : trees) controller.restart_tree(tree);
+            reset_receivers();
+        }
+        resend();
+        net.run();
+        if (all_complete()) {
+            report.success = true;
+            return report;
+        }
+    }
+    return report;
+}
+
+}  // namespace daiet

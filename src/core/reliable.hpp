@@ -1,0 +1,49 @@
+// Restart-based reliable shuffle (OPTIONAL extension).
+//
+// The paper's prototype explicitly leaves packet loss to future work
+// (§4: "we do not address the issue of packet losses"). This module
+// implements the simplest recovery strategy compatible with in-network
+// aggregation: because switches fold pairs into running aggregates,
+// *selective* retransmission of lost pairs would double-count earlier
+// ones, so recovery is all-or-nothing per aggregation stream — detect
+// an incomplete stream at the root, wipe the tree's switch state,
+// discard the partial result, and replay the whole partition.
+//
+// That trades bandwidth for simplicity and preserves exactly-once
+// aggregation semantics. (Follow-up systems, e.g. SwitchML, instead
+// window the stream and ACK slot-by-slot; that design needs per-slot
+// sequence state the 2017-era model does not budget for.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/controller.hpp"
+#include "netsim/network.hpp"
+
+namespace daiet {
+
+struct ReliableRunReport {
+    bool success{false};
+    std::size_t attempts{0};
+};
+
+/// Drive a shuffle round to completion with restart-on-loss recovery.
+///
+///  * `resend` must (re)issue every mapper's full stream for the trees
+///    involved (sends happen at the current simulated time);
+///  * `all_complete` reports whether every receiver saw its END(s);
+///  * `reset_receivers` discards partial receiver state before a retry.
+///
+/// Between attempts the controller wipes switch-side tree state via
+/// Controller::restart_tree. Returns success plus the attempt count.
+ReliableRunReport run_with_restart(sim::Network& net, Controller& controller,
+                                   const std::vector<TreeId>& trees,
+                                   const std::function<void()>& resend,
+                                   const std::function<bool()>& all_complete,
+                                   const std::function<void()>& reset_receivers,
+                                   std::size_t max_attempts = 8);
+
+}  // namespace daiet

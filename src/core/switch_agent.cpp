@@ -1,0 +1,169 @@
+#include "core/switch_agent.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace daiet {
+
+void SwitchAgent::configure_tree(TreeId tree, AggFnId fn, std::uint32_t num_children) {
+    DAIET_EXPECTS(num_children > 0);
+    if (trees_.size() >= config_.max_trees && !trees_.contains(tree)) {
+        throw std::runtime_error{"SwitchAgent: tree capacity exceeded (max_trees=" +
+                                 std::to_string(config_.max_trees) + ")"};
+    }
+    TreeState state;
+    state.fn = fn;
+    state.remaining_children = num_children;
+    state.key_register.assign(config_.register_size, Key16{});
+    state.value_register.assign(config_.register_size, identity_of(fn));
+    state.index_stack.reserve(config_.register_size);
+    state.spillover.reserve(config_.spillover_capacity);
+    trees_[tree] = std::move(state);
+}
+
+SwitchAgent::TreeState& SwitchAgent::tree_state(TreeId tree) {
+    const auto it = trees_.find(tree);
+    if (it == trees_.end()) {
+        throw std::runtime_error{"SwitchAgent: unknown tree id " + std::to_string(tree)};
+    }
+    return it->second;
+}
+
+const SwitchAgent::TreeState& SwitchAgent::tree_state(TreeId tree) const {
+    const auto it = trees_.find(tree);
+    if (it == trees_.end()) {
+        throw std::runtime_error{"SwitchAgent: unknown tree id " + std::to_string(tree)};
+    }
+    return it->second;
+}
+
+std::vector<std::vector<KvPair>> SwitchAgent::packetize(std::vector<KvPair> pairs) const {
+    std::vector<std::vector<KvPair>> out;
+    const std::size_t per = config_.max_pairs_per_packet;
+    for (std::size_t i = 0; i < pairs.size(); i += per) {
+        const std::size_t n = std::min(per, pairs.size() - i);
+        out.emplace_back(pairs.begin() + static_cast<std::ptrdiff_t>(i),
+                         pairs.begin() + static_cast<std::ptrdiff_t>(i + n));
+    }
+    return out;
+}
+
+std::vector<std::vector<KvPair>> SwitchAgent::on_data(TreeId tree,
+                                                      std::span<const KvPair> pairs) {
+    TreeState& st = tree_state(tree);
+    std::vector<std::vector<KvPair>> to_forward;
+
+    for (const KvPair& pair : pairs) {
+        ++st.stats.pairs_in;
+        ++st.round_pairs_in;
+        const std::size_t idx = index_of(pair.key);
+
+        if (st.key_register[idx].empty()) {
+            // Line 6-9: empty cell -> store pair, remember the index.
+            st.key_register[idx] = pair.key;
+            st.value_register[idx] = first_value(st.fn, pair.value);
+            st.index_stack.push_back(static_cast<std::uint32_t>(idx));
+            ++st.stats.pairs_stored;
+        } else if (st.key_register[idx] == pair.key) {
+            // Line 10-11: same key -> aggregate in place.
+            st.value_register[idx] = combine(st.fn, st.value_register[idx], pair.value);
+            ++st.stats.pairs_combined;
+        } else {
+            // Line 12-15: hash collision -> spillover bucket; flush the
+            // bucket downstream when full.
+            st.spillover.push_back(pair);
+            ++st.stats.pairs_spilled;
+            if (st.spillover.size() >= config_.spillover_capacity) {
+                ++st.stats.spill_flushes;
+                st.stats.pairs_out += st.spillover.size();
+                st.round_pairs_out += static_cast<std::uint32_t>(st.spillover.size());
+                for (auto& packet : packetize(std::exchange(st.spillover, {}))) {
+                    to_forward.push_back(std::move(packet));
+                }
+                st.spillover.reserve(config_.spillover_capacity);
+            }
+        }
+    }
+    return to_forward;
+}
+
+SwitchAgent::EndResult SwitchAgent::on_end(TreeId tree, std::uint32_t declared_pairs,
+                                           bool dirty) {
+    TreeState& st = tree_state(tree);
+    ++st.stats.end_packets_in;
+    DAIET_EXPECTS(st.remaining_children > 0);
+    st.declared_accum += declared_pairs;
+    st.dirty = st.dirty || dirty;
+
+    EndResult result;
+    if (--st.remaining_children > 0) return result;
+
+    // Line 18-19: all children finished -> flush everything downstream.
+    result.completed = true;
+    // Spillover first: if the next node is another DAIET switch with
+    // spare register space, these un-aggregated pairs still have a
+    // chance to aggregate there (§4).
+    st.stats.pairs_out += st.spillover.size();
+    st.round_pairs_out += static_cast<std::uint32_t>(st.spillover.size());
+    result.packets = packetize(std::exchange(st.spillover, {}));
+    st.spillover.reserve(config_.spillover_capacity);
+    // Then drain the index stack (LIFO, top first); the stack spares a
+    // full scan of the register arrays at flush time (§4).
+    std::vector<KvPair> drained;
+    drained.reserve(st.index_stack.size());
+    for (auto it = st.index_stack.rbegin(); it != st.index_stack.rend(); ++it) {
+        const std::uint32_t idx = *it;
+        drained.push_back(KvPair{st.key_register[idx], st.value_register[idx]});
+        st.key_register[idx] = Key16{};
+        st.value_register[idx] = identity_of(st.fn);
+    }
+    st.index_stack.clear();
+    st.stats.pairs_out += drained.size();
+    st.round_pairs_out += static_cast<std::uint32_t>(drained.size());
+    for (auto& packet : packetize(std::move(drained))) {
+        result.packets.push_back(std::move(packet));
+    }
+    // Loss detection: everything the children declared must have
+    // arrived; otherwise the aggregate is tainted.
+    result.dirty = st.dirty || st.round_pairs_in != st.declared_accum;
+    result.declared = st.round_pairs_out;
+    return result;
+}
+
+void SwitchAgent::reset_tree(TreeId tree, std::uint32_t num_children) {
+    DAIET_EXPECTS(num_children > 0);
+    TreeState& st = tree_state(tree);
+    DAIET_EXPECTS(st.index_stack.empty() && st.spillover.empty());
+    st.remaining_children = num_children;
+    st.round_pairs_in = 0;
+    st.round_pairs_out = 0;
+    st.declared_accum = 0;
+    st.dirty = false;
+}
+
+void SwitchAgent::clear_tree(TreeId tree, std::uint32_t num_children) {
+    DAIET_EXPECTS(num_children > 0);
+    TreeState& st = tree_state(tree);
+    st.key_register.assign(config_.register_size, Key16{});
+    st.value_register.assign(config_.register_size, identity_of(st.fn));
+    st.index_stack.clear();
+    st.spillover.clear();
+    st.remaining_children = num_children;
+    st.round_pairs_in = 0;
+    st.round_pairs_out = 0;
+    st.declared_accum = 0;
+    st.dirty = false;
+}
+
+const AgentTreeStats& SwitchAgent::stats(TreeId tree) const {
+    return tree_state(tree).stats;
+}
+
+std::size_t SwitchAgent::held_pairs(TreeId tree) const {
+    const TreeState& st = tree_state(tree);
+    return st.index_stack.size() + st.spillover.size();
+}
+
+}  // namespace daiet

@@ -1,0 +1,129 @@
+// Per-packet execution context: the interface a dataplane program uses
+// to touch switch state, and the place where the architectural limits of
+// the RMT machine model are enforced.
+//
+// Paper §2, "Few operations per packet": programs get tens of
+// nanoseconds per packet, so the number of primitive operations per
+// pipeline pass is bounded and loops are impossible; the only escape
+// hatch is recirculation, which costs forwarding capacity. We model this
+// with an operation counter that throws once a pass exceeds its budget,
+// and an explicit recirculate() primitive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "dataplane/packet.hpp"
+
+namespace daiet::dp {
+
+/// Thrown when a program exceeds the per-pass operation budget or
+/// re-applies a table: both are compile-time rejections on a real P4
+/// target, surfaced here at the first offending packet.
+class PipelineError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Categories of primitive operations, for per-category accounting.
+enum class OpKind : std::uint8_t {
+    kParse = 0,     ///< header/field extraction
+    kHash,          ///< hash unit invocation
+    kRegisterRead,  ///< stateful register read
+    kRegisterWrite, ///< stateful register write
+    kAlu,           ///< arithmetic/boolean op on metadata
+    kTableApply,    ///< match-action table lookup
+    kCount_         ///< sentinel
+};
+
+struct OpCounters {
+    std::uint64_t by_kind[static_cast<std::size_t>(OpKind::kCount_)]{};
+
+    std::uint64_t total() const noexcept {
+        std::uint64_t t = 0;
+        for (const auto v : by_kind) t += v;
+        return t;
+    }
+
+    std::uint64_t of(OpKind k) const noexcept {
+        return by_kind[static_cast<std::size_t>(k)];
+    }
+};
+
+class PacketContext {
+public:
+    PacketContext(Packet& packet, std::uint32_t ops_per_pass_budget)
+        : packet_{&packet}, budget_{ops_per_pass_budget} {}
+
+    PacketContext(const PacketContext&) = delete;
+    PacketContext& operator=(const PacketContext&) = delete;
+
+    Packet& packet() noexcept { return *packet_; }
+    const Packet& packet() const noexcept { return *packet_; }
+
+    /// Record one primitive operation; throws PipelineError when the
+    /// per-pass budget is exhausted (budget 0 = unlimited).
+    void count_op(OpKind kind) {
+        ++pass_ops_.by_kind[static_cast<std::size_t>(kind)];
+        ++total_ops_.by_kind[static_cast<std::size_t>(kind)];
+        if (budget_ != 0 && pass_ops_.total() > budget_) {
+            throw PipelineError{"per-pass operation budget (" +
+                                std::to_string(budget_) + ") exceeded"};
+        }
+    }
+
+    /// Hash primitive (CRC-32 flavoured, as provided by P4 targets).
+    std::uint32_t hash(std::span<const std::byte> data) {
+        count_op(OpKind::kHash);
+        return Crc32::compute(data);
+    }
+
+    /// Enforce the "a table can be applied at most once per packet"
+    /// constraint the paper calls out in §5.
+    void note_table_application(const std::string& table_name) {
+        count_op(OpKind::kTableApply);
+        if (!applied_tables_.insert(table_name).second) {
+            throw PipelineError{"table '" + table_name +
+                                "' applied more than once in a single pass"};
+        }
+    }
+
+    /// Queue a brand-new packet for emission from this switch (used by
+    /// DAIET to flush spillover buckets and aggregated state).
+    void emit(Packet p) { emitted_.push_back(std::move(p)); }
+
+    /// Request that the current packet re-enter the ingress pipeline
+    /// after this pass (models P4 recirculation; costs capacity).
+    void recirculate() noexcept { recirculate_requested_ = true; }
+
+    void mark_drop() noexcept { packet_->meta().drop = true; }
+    void set_egress(PortId port) noexcept { packet_->meta().egress_port = port; }
+
+    // --- pipeline-internal hooks -----------------------------------------
+    void begin_pass() noexcept {
+        pass_ops_ = OpCounters{};
+        applied_tables_.clear();
+        recirculate_requested_ = false;
+    }
+    bool recirculate_requested() const noexcept { return recirculate_requested_; }
+    std::vector<Packet>& emitted() noexcept { return emitted_; }
+    const OpCounters& pass_ops() const noexcept { return pass_ops_; }
+    const OpCounters& total_ops() const noexcept { return total_ops_; }
+    std::uint32_t budget() const noexcept { return budget_; }
+
+private:
+    Packet* packet_;
+    std::uint32_t budget_;
+    OpCounters pass_ops_{};
+    OpCounters total_ops_{};
+    std::unordered_set<std::string> applied_tables_;
+    std::vector<Packet> emitted_;
+    bool recirculate_requested_{false};
+};
+
+}  // namespace daiet::dp

@@ -1,0 +1,85 @@
+// Exact-match match-action tables.
+//
+// The controller configures DAIET switches by "pushing a set of flow
+// rules" (paper §4): per aggregation tree, the output port, the number
+// of children, and the aggregation function id. We model the table as an
+// exact-match map from a key to an action-data struct; capacity is fixed
+// at construction and accounted against the SRAM budget, and the
+// pipeline enforces single application per pass via the context.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "dataplane/context.hpp"
+#include "dataplane/resources.hpp"
+
+namespace daiet::dp {
+
+template <typename Key, typename ActionData>
+class ExactMatchTable {
+public:
+    ExactMatchTable(std::string name, std::size_t capacity, SramBook& book)
+        : name_{std::move(name)}, capacity_{capacity}, book_{&book} {
+        DAIET_EXPECTS(capacity > 0);
+        footprint_ = capacity_ * (sizeof(Key) + sizeof(ActionData));
+        book_->reserve(name_, footprint_);
+    }
+
+    ~ExactMatchTable() {
+        if (book_ != nullptr) book_->release(footprint_);
+    }
+
+    ExactMatchTable(const ExactMatchTable&) = delete;
+    ExactMatchTable& operator=(const ExactMatchTable&) = delete;
+    ExactMatchTable(ExactMatchTable&& other) noexcept
+        : name_{std::move(other.name_)},
+          capacity_{other.capacity_},
+          footprint_{other.footprint_},
+          entries_{std::move(other.entries_)},
+          book_{std::exchange(other.book_, nullptr)} {}
+    ExactMatchTable& operator=(ExactMatchTable&&) = delete;
+
+    /// Control-plane rule insertion; throws ResourceError when full.
+    void install(const Key& key, ActionData data) {
+        if (entries_.size() >= capacity_ && !entries_.contains(key)) {
+            throw ResourceError{"table '" + name_ + "' is full (capacity " +
+                                std::to_string(capacity_) + ")"};
+        }
+        entries_[key] = std::move(data);
+    }
+
+    void remove(const Key& key) { entries_.erase(key); }
+    void clear() { entries_.clear(); }
+
+    /// Data-plane lookup. Returns nullptr on miss. Counts as a table
+    /// application: calling it twice for the same packet pass throws.
+    const ActionData* apply(PacketContext& ctx, const Key& key) const {
+        ctx.note_table_application(name_);
+        const auto it = entries_.find(key);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /// Control-plane lookup (not op-charged, no single-apply rule).
+    const ActionData* peek(const Key& key) const {
+        const auto it = entries_.find(key);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    std::size_t size() const noexcept { return entries_.size(); }
+    std::size_t capacity() const noexcept { return capacity_; }
+    const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+    std::size_t capacity_;
+    std::size_t footprint_{0};
+    std::unordered_map<Key, ActionData> entries_;
+    SramBook* book_;
+};
+
+}  // namespace daiet::dp

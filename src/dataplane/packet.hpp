@@ -1,0 +1,51 @@
+// Packet representation inside the dataplane model.
+//
+// A packet is an owned byte payload plus the per-packet metadata bus that
+// RMT-style architectures carry alongside the parsed representation
+// (ingress port, egress spec, recirculation count, drop flag).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace daiet::dp {
+
+using PortId = std::uint16_t;
+
+inline constexpr PortId kPortInvalid = 0xffff;
+/// Egress spec directing the packet back into the ingress pipeline.
+inline constexpr PortId kPortRecirculate = 0xfffe;
+
+/// Metadata bus carried with each packet through the pipeline.
+struct PacketMeta {
+    PortId ingress_port{kPortInvalid};
+    PortId egress_port{kPortInvalid};
+    std::uint16_t recirc_count{0};  ///< how many times this packet recirculated
+    bool drop{false};
+};
+
+class Packet {
+public:
+    Packet() = default;
+
+    explicit Packet(std::vector<std::byte> payload) : payload_{std::move(payload)} {}
+
+    Packet(std::vector<std::byte> payload, PacketMeta meta)
+        : payload_{std::move(payload)}, meta_{meta} {}
+
+    std::span<const std::byte> payload() const noexcept { return payload_; }
+    std::vector<std::byte>& mutable_payload() noexcept { return payload_; }
+    std::size_t size_bytes() const noexcept { return payload_.size(); }
+
+    PacketMeta& meta() noexcept { return meta_; }
+    const PacketMeta& meta() const noexcept { return meta_; }
+
+private:
+    std::vector<std::byte> payload_;
+    PacketMeta meta_;
+};
+
+}  // namespace daiet::dp

@@ -1,0 +1,48 @@
+#include "dataplane/pipeline.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace daiet::dp {
+
+Pipeline::Pipeline(PipelineConfig config, std::shared_ptr<PipelineProgram> program)
+    : config_{config}, program_{std::move(program)} {
+    DAIET_EXPECTS(program_ != nullptr);
+}
+
+std::vector<Packet> Pipeline::process(Packet packet) {
+    ++stats_.packets_in;
+    PacketContext ctx{packet, config_.ops_per_pass};
+
+    for (;;) {
+        ctx.begin_pass();
+        program_->on_packet(ctx);
+        for (std::size_t k = 0; k < static_cast<std::size_t>(OpKind::kCount_); ++k) {
+            stats_.ops.by_kind[k] += ctx.pass_ops().by_kind[k];
+        }
+        if (!ctx.recirculate_requested()) break;
+        ++stats_.recirculations;
+        auto& meta = packet.meta();
+        if (++meta.recirc_count > config_.max_recirculations) {
+            throw PipelineError{"packet exceeded max_recirculations (" +
+                                std::to_string(config_.max_recirculations) +
+                                ") in program '" + program_->name() + "'"};
+        }
+    }
+
+    std::vector<Packet> out;
+    out.reserve(ctx.emitted().size() + 1);
+    if (packet.meta().drop) {
+        ++stats_.packets_dropped;
+    } else {
+        out.push_back(std::move(packet));
+    }
+    for (auto& extra : ctx.emitted()) {
+        out.push_back(std::move(extra));
+    }
+    stats_.packets_out += out.size();
+    return out;
+}
+
+}  // namespace daiet::dp

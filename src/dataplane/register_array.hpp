@@ -1,0 +1,88 @@
+// Stateful register arrays.
+//
+// RMT-style switches expose per-stage SRAM as fixed-size register arrays
+// that actions may read and write once per packet traversal. DAIET's
+// Algorithm 1 keeps two such arrays (keys and values) plus an index
+// stack; all of them are RegisterArray instances here, so their SRAM
+// footprint is accounted against the switch budget and every access is
+// charged to the per-packet operation budget.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "dataplane/context.hpp"
+#include "dataplane/resources.hpp"
+
+namespace daiet::dp {
+
+template <typename T>
+class RegisterArray {
+public:
+    /// Reserves size * sizeof(T) bytes from `book` for the lifetime of
+    /// the array. T must be trivially copyable (register cells are raw
+    /// SRAM words, not objects with behaviour).
+    RegisterArray(std::string name, std::size_t size, SramBook& book)
+        : name_{std::move(name)}, cells_(size), book_{&book} {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "register cells must be raw data");
+        DAIET_EXPECTS(size > 0);
+        book_->reserve(name_, footprint_bytes());
+    }
+
+    ~RegisterArray() {
+        if (book_ != nullptr) book_->release(footprint_bytes());
+    }
+
+    RegisterArray(const RegisterArray&) = delete;
+    RegisterArray& operator=(const RegisterArray&) = delete;
+
+    RegisterArray(RegisterArray&& other) noexcept
+        : name_{std::move(other.name_)},
+          cells_{std::move(other.cells_)},
+          book_{std::exchange(other.book_, nullptr)} {}
+
+    RegisterArray& operator=(RegisterArray&&) = delete;
+
+    /// Read through the packet context (charged as one register-read op).
+    const T& read(PacketContext& ctx, std::size_t idx) const {
+        ctx.count_op(OpKind::kRegisterRead);
+        DAIET_EXPECTS(idx < cells_.size());
+        return cells_[idx];
+    }
+
+    /// Write through the packet context (charged as one register-write op).
+    void write(PacketContext& ctx, std::size_t idx, const T& value) {
+        ctx.count_op(OpKind::kRegisterWrite);
+        DAIET_EXPECTS(idx < cells_.size());
+        cells_[idx] = value;
+    }
+
+    /// Control-plane access (no packet in flight, not op-charged):
+    /// the controller may reset or inspect registers out of band.
+    const T& peek(std::size_t idx) const {
+        DAIET_EXPECTS(idx < cells_.size());
+        return cells_[idx];
+    }
+
+    void poke(std::size_t idx, const T& value) {
+        DAIET_EXPECTS(idx < cells_.size());
+        cells_[idx] = value;
+    }
+
+    void fill(const T& value) { cells_.assign(cells_.size(), value); }
+
+    std::size_t size() const noexcept { return cells_.size(); }
+    std::size_t footprint_bytes() const noexcept { return cells_.size() * sizeof(T); }
+    const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+    std::vector<T> cells_;
+    SramBook* book_;
+};
+
+}  // namespace daiet::dp

@@ -1,0 +1,98 @@
+#include "graph/algorithms.hpp"
+
+#include <deque>
+#include <queue>
+#include <numeric>
+
+namespace daiet::graph {
+
+std::vector<double> reference_pagerank(const Graph& g, std::size_t iterations,
+                                       double damping) {
+    const std::size_t n = g.num_vertices();
+    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+    std::vector<double> next(n, 0.0);
+    for (std::size_t it = 0; it < iterations; ++it) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (VertexId v = 0; v < n; ++v) {
+            const auto neighbors = g.out_neighbors(v);
+            if (neighbors.empty()) continue;
+            const double share = rank[v] / static_cast<double>(neighbors.size());
+            for (const VertexId t : neighbors) next[t] += share;
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+            next[v] = (1.0 - damping) / static_cast<double>(n) + damping * next[v];
+        }
+        std::swap(rank, next);
+    }
+    return rank;
+}
+
+std::vector<std::uint32_t> reference_bfs_distances(const Graph& g, VertexId source) {
+    constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> dist(g.num_vertices(), kInf);
+    std::deque<VertexId> queue;
+    dist[source] = 0;
+    queue.push_back(source);
+    while (!queue.empty()) {
+        const VertexId v = queue.front();
+        queue.pop_front();
+        for (const VertexId t : g.out_neighbors(v)) {
+            if (dist[t] == kInf) {
+                dist[t] = dist[v] + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint32_t> reference_sssp(const Graph& g, VertexId source) {
+    constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> dist(g.num_vertices(), kInf);
+    using Entry = std::pair<std::uint32_t, VertexId>;  // (distance, vertex)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.emplace(0, source);
+    while (!heap.empty()) {
+        const auto [d, v] = heap.top();
+        heap.pop();
+        if (d > dist[v]) continue;
+        const auto neighbors = g.out_neighbors(v);
+        const auto weights = g.out_weights(v);
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+            const std::uint32_t nd = d + weights[i];
+            if (nd < dist[neighbors[i]]) {
+                dist[neighbors[i]] = nd;
+                heap.emplace(nd, neighbors[i]);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<VertexId> reference_components(const Graph& undirected) {
+    // Union-find with path compression.
+    std::vector<VertexId> parent(undirected.num_vertices());
+    std::iota(parent.begin(), parent.end(), 0U);
+    const auto find = [&](VertexId v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    for (VertexId v = 0; v < undirected.num_vertices(); ++v) {
+        for (const VertexId t : undirected.out_neighbors(v)) {
+            const VertexId a = find(v);
+            const VertexId b = find(t);
+            if (a != b) parent[std::max(a, b)] = std::min(a, b);
+        }
+    }
+    // Label every vertex by its root (minimum id in the component,
+    // because unions always point the larger root at the smaller).
+    std::vector<VertexId> labels(undirected.num_vertices());
+    for (VertexId v = 0; v < undirected.num_vertices(); ++v) labels[v] = find(v);
+    return labels;
+}
+
+}  // namespace daiet::graph

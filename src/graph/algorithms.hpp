@@ -1,0 +1,124 @@
+// The paper's three graph workloads (§3): PageRank, Single-Source
+// Shortest Paths, and Weakly Connected Components — each paired with
+// its commutative & associative combiner (sum / min / min).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/pregel.hpp"
+
+namespace daiet::graph {
+
+/// PageRank with damping 0.85; every vertex is active every superstep
+/// ("In each iteration, all vertices are active and send messages to
+/// their neighbours", §3). Combiner: sum.
+struct PageRankProgram {
+    using Value = double;
+    using Message = double;
+    static constexpr bool kAlwaysActive = true;
+
+    double damping{0.85};
+
+    Value init(VertexId, const Graph& g) const {
+        return 1.0 / static_cast<double>(g.num_vertices());
+    }
+
+    Message combine(Message a, Message b) const { return a + b; }
+
+    template <typename Context>
+    void compute(Context& ctx, VertexId v, Value& value,
+                 const std::optional<Message>& incoming) const {
+        if (ctx.superstep() > 0) {
+            const double sum = incoming.value_or(0.0);
+            value = (1.0 - damping) / static_cast<double>(ctx.graph().num_vertices()) +
+                    damping * sum;
+        }
+        const std::size_t degree = ctx.graph().out_degree(v);
+        if (degree > 0) {
+            ctx.send_to_out_neighbors(value / static_cast<double>(degree));
+        }
+    }
+};
+
+/// SSSP over the graph's edge weights ("SSSP starts by sending a
+/// smaller number of messages from the source vertex. In the following
+/// iteration, the number of messages increases exponentially", §3).
+/// Unit weights degenerate to BFS; weighted graphs re-relax vertices
+/// across supersteps, sustaining traffic for more iterations (as on
+/// the paper's LiveJournal runs). Combiner: min.
+struct SsspProgram {
+    using Value = std::uint32_t;
+    using Message = std::uint32_t;
+    static constexpr bool kAlwaysActive = false;
+    static constexpr Value kInfinity = std::numeric_limits<Value>::max();
+
+    VertexId source{0};
+
+    Value init(VertexId v, const Graph&) const {
+        return v == source ? 0 : kInfinity;
+    }
+
+    Message combine(Message a, Message b) const { return a < b ? a : b; }
+
+    template <typename Context>
+    void compute(Context& ctx, VertexId v, Value& value,
+                 const std::optional<Message>& incoming) const {
+        bool improved = false;
+        if (ctx.superstep() == 0) {
+            improved = v == source;
+        } else if (incoming && *incoming < value) {
+            value = *incoming;
+            improved = true;
+        }
+        if (improved && value != kInfinity) {
+            const auto neighbors = ctx.graph().out_neighbors(v);
+            const auto weights = ctx.graph().out_weights(v);
+            for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                ctx.send(neighbors[i], value + weights[i]);
+            }
+        }
+    }
+};
+
+/// Weakly connected components by min-label propagation over the
+/// symmetrized graph ("WCC starts by sending large number of messages
+/// from all vertices which decrease as the algorithm converges", §3).
+/// Combiner: min.
+struct WccProgram {
+    using Value = VertexId;
+    using Message = VertexId;
+    static constexpr bool kAlwaysActive = false;
+
+    Value init(VertexId v, const Graph&) const { return v; }
+
+    Message combine(Message a, Message b) const { return a < b ? a : b; }
+
+    template <typename Context>
+    void compute(Context& ctx, VertexId v, Value& value,
+                 const std::optional<Message>& incoming) const {
+        bool improved = false;
+        if (ctx.superstep() == 0) {
+            improved = true;  // every vertex announces its own label
+        } else if (incoming && *incoming < value) {
+            value = *incoming;
+            improved = true;
+        }
+        static_cast<void>(v);
+        if (improved) {
+            ctx.send_to_out_neighbors(value);
+        }
+    }
+};
+
+/// Reference single-threaded implementations for correctness checks.
+std::vector<double> reference_pagerank(const Graph& g, std::size_t iterations,
+                                       double damping = 0.85);
+std::vector<std::uint32_t> reference_bfs_distances(const Graph& g, VertexId source);
+/// Dijkstra over the graph's edge weights.
+std::vector<std::uint32_t> reference_sssp(const Graph& g, VertexId source);
+std::vector<VertexId> reference_components(const Graph& undirected);
+
+}  // namespace daiet::graph

@@ -1,0 +1,65 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/hash.hpp"
+
+namespace daiet::graph {
+
+Graph Graph::from_edges(VertexId num_vertices,
+                        std::vector<std::pair<VertexId, VertexId>> edges,
+                        std::uint32_t max_weight) {
+    DAIET_EXPECTS(max_weight >= 1);
+    // Drop self-loops, deduplicate.
+    std::erase_if(edges, [](const auto& e) { return e.first == e.second; });
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    Graph g;
+    g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+    for (const auto& [src, dst] : edges) {
+        DAIET_EXPECTS(src < num_vertices && dst < num_vertices);
+        ++g.offsets_[src + 1];
+    }
+    for (std::size_t v = 1; v <= num_vertices; ++v) {
+        g.offsets_[v] += g.offsets_[v - 1];
+    }
+    g.max_weight_ = max_weight;
+    g.targets_.resize(edges.size());
+    g.weights_.resize(edges.size());
+    std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (const auto& [src, dst] : edges) {
+        const std::size_t slot = cursor[src]++;
+        g.targets_[slot] = dst;
+        // Deterministic per-edge weight, stable under edge-list order.
+        g.weights_[slot] =
+            max_weight == 1
+                ? 1
+                : 1 + static_cast<std::uint32_t>(
+                          mix64(static_cast<std::uint64_t>(src) << 32 | dst) %
+                          max_weight);
+    }
+    return g;
+}
+
+std::size_t Graph::vertices_with_in_edges() const {
+    std::vector<bool> has_in(num_vertices(), false);
+    for (const VertexId t : targets_) has_in[t] = true;
+    return static_cast<std::size_t>(std::count(has_in.begin(), has_in.end(), true));
+}
+
+Graph Graph::symmetrized() const {
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    edges.reserve(num_edges() * 2);
+    for (VertexId v = 0; v < num_vertices(); ++v) {
+        for (const VertexId t : out_neighbors(v)) {
+            edges.emplace_back(v, t);
+            edges.emplace_back(t, v);
+        }
+    }
+    return from_edges(static_cast<VertexId>(num_vertices()), std::move(edges),
+                      max_weight_);
+}
+
+}  // namespace daiet::graph

@@ -1,0 +1,58 @@
+// Directed graph in CSR (compressed sparse row) form.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace daiet::graph {
+
+using VertexId = std::uint32_t;
+
+class Graph {
+public:
+    Graph() = default;
+
+    /// Build from an edge list; edges are deduplicated and self-loops
+    /// removed (LiveJournal-style simple digraph). When max_weight > 1,
+    /// each edge gets a deterministic hash-derived integer weight in
+    /// [1, max_weight] (for weighted SSSP); max_weight == 1 gives a
+    /// unit-weight graph.
+    static Graph from_edges(VertexId num_vertices,
+                            std::vector<std::pair<VertexId, VertexId>> edges,
+                            std::uint32_t max_weight = 1);
+
+    std::size_t num_vertices() const noexcept { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+    std::size_t num_edges() const noexcept { return targets_.size(); }
+
+    std::span<const VertexId> out_neighbors(VertexId v) const {
+        return std::span{targets_}.subspan(offsets_[v], offsets_[v + 1] - offsets_[v]);
+    }
+
+    /// Weights aligned with out_neighbors(v).
+    std::span<const std::uint32_t> out_weights(VertexId v) const {
+        return std::span{weights_}.subspan(offsets_[v], offsets_[v + 1] - offsets_[v]);
+    }
+
+    std::size_t out_degree(VertexId v) const noexcept {
+        return offsets_[v + 1] - offsets_[v];
+    }
+
+    std::uint32_t max_weight() const noexcept { return max_weight_; }
+
+    /// Number of vertices with at least one incoming edge.
+    std::size_t vertices_with_in_edges() const;
+
+    /// Undirected view: every edge present in both directions
+    /// (weakly-connected-components runs on this).
+    Graph symmetrized() const;
+
+private:
+    std::vector<std::size_t> offsets_;  ///< size = num_vertices + 1
+    std::vector<VertexId> targets_;
+    std::vector<std::uint32_t> weights_;  ///< parallel to targets_
+    std::uint32_t max_weight_{1};
+};
+
+}  // namespace daiet::graph

@@ -1,0 +1,132 @@
+#include "mapreduce/corpus.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+#include "common/hash.hpp"
+#include "core/aggregation.hpp"
+
+namespace daiet::mr {
+
+Corpus::Corpus(CorpusConfig config) : config_{config} {
+    DAIET_EXPECTS(config_.vocabulary_size > 0);
+    DAIET_EXPECTS(config_.num_mappers > 0);
+    DAIET_EXPECTS(config_.num_reducers > 0);
+    DAIET_EXPECTS(config_.max_word_length <= Key16::width);
+    DAIET_EXPECTS(config_.min_word_length >= 1 &&
+                  config_.min_word_length <= config_.max_word_length);
+
+    Rng rng{config_.seed};
+    build_vocabulary(rng);
+
+    // Distribute word instances over mappers round-robin so every split
+    // sees the global frequency distribution.
+    splits_.resize(config_.num_mappers);
+    const std::size_t per_mapper = config_.total_words / config_.num_mappers;
+    for (auto& split : splits_) split.reserve(per_mapper + 1);
+
+    if (config_.zipf_exponent > 0.0) {
+        const ZipfSampler zipf{config_.vocabulary_size, config_.zipf_exponent};
+        for (std::size_t i = 0; i < config_.total_words; ++i) {
+            splits_[i % config_.num_mappers].push_back(
+                static_cast<std::uint32_t>(zipf(rng)));
+        }
+    } else {
+        for (std::size_t i = 0; i < config_.total_words; ++i) {
+            splits_[i % config_.num_mappers].push_back(
+                static_cast<std::uint32_t>(rng.next_below(config_.vocabulary_size)));
+        }
+    }
+}
+
+std::string Corpus::random_word(Rng& rng) const {
+    const auto len = static_cast<std::size_t>(
+        rng.next_int(static_cast<std::int64_t>(config_.min_word_length),
+                     static_cast<std::int64_t>(config_.max_word_length)));
+    std::string w(len, 'a');
+    for (auto& c : w) {
+        c = static_cast<char>('a' + rng.next_below(26));
+    }
+    return w;
+}
+
+void Corpus::build_vocabulary(Rng& rng) {
+    vocabulary_.reserve(config_.vocabulary_size);
+    std::unordered_set<std::string> seen;
+    // Per reducer partition: occupied register cells (collision check).
+    std::vector<std::unordered_set<std::uint32_t>> cells(config_.num_reducers);
+
+    std::size_t rejected_collisions = 0;
+    const std::size_t max_attempts = config_.vocabulary_size * 400 + 100'000;
+    std::size_t attempts = 0;
+    while (vocabulary_.size() < config_.vocabulary_size) {
+        if (++attempts > max_attempts) {
+            throw std::runtime_error{
+                "Corpus: cannot build a collision-free vocabulary of " +
+                std::to_string(config_.vocabulary_size) + " words into " +
+                std::to_string(config_.num_reducers) + " x " +
+                std::to_string(config_.register_size) +
+                " register cells (rejected " + std::to_string(rejected_collisions) +
+                " candidates); enlarge register_size or shrink the vocabulary"};
+        }
+        std::string w = random_word(rng);
+        if (!seen.insert(w).second) continue;
+        if (config_.collision_free) {
+            const auto part = partition_of(w);
+            const auto cell = static_cast<std::uint32_t>(register_index_from_crc(
+                Crc32::compute(Key16{w}.bytes()), config_.register_size));
+            if (!cells[part].insert(cell).second) {
+                ++rejected_collisions;
+                seen.erase(w);
+                continue;
+            }
+        }
+        vocabulary_.push_back(std::move(w));
+    }
+}
+
+std::uint32_t Corpus::partition_of(std::string_view word) const noexcept {
+    // FNV over the raw word (not the padded cell) — the partitioner is
+    // application-level code and is independent of the switch hash.
+    return static_cast<std::uint32_t>(fnv1a64(word) %
+                                      static_cast<std::uint64_t>(config_.num_reducers));
+}
+
+std::string Corpus::split_text(std::size_t mapper) const {
+    DAIET_EXPECTS(mapper < splits_.size());
+    std::string text;
+    std::size_t bytes = 0;
+    for (const auto idx : splits_[mapper]) bytes += vocabulary_[idx].size() + 1;
+    text.reserve(bytes);
+    for (const auto idx : splits_[mapper]) {
+        text += vocabulary_[idx];
+        text += ' ';
+    }
+    if (!text.empty()) text.pop_back();
+    return text;
+}
+
+std::size_t Corpus::total_text_bytes() const {
+    std::size_t bytes = 0;
+    for (std::size_t m = 0; m < splits_.size(); ++m) {
+        for (const auto idx : splits_[m]) bytes += vocabulary_[idx].size() + 1;
+    }
+    return bytes;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Corpus::reference_counts() const {
+    std::vector<std::int64_t> counts(vocabulary_.size(), 0);
+    for (const auto& split : splits_) {
+        for (const auto idx : split) ++counts[idx];
+    }
+    std::map<std::string, std::int64_t> sorted;
+    for (std::size_t i = 0; i < vocabulary_.size(); ++i) {
+        if (counts[i] > 0) sorted.emplace(vocabulary_[i], counts[i]);
+    }
+    return {sorted.begin(), sorted.end()};
+}
+
+}  // namespace daiet::mr

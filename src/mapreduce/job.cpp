@@ -1,0 +1,364 @@
+#include "mapreduce/job.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "core/controller.hpp"
+#include "core/pipeline_program.hpp"
+#include "core/worker.hpp"
+#include "mapreduce/collector.hpp"
+#include "mapreduce/record.hpp"
+#include "mapreduce/reduce.hpp"
+#include "mapreduce/wordcount.hpp"
+#include "netsim/network.hpp"
+
+namespace daiet::mr {
+
+namespace {
+
+constexpr std::uint16_t kTcpShufflePort = 6000;
+
+struct Cluster {
+    std::unique_ptr<sim::Network> net;
+    std::vector<sim::Host*> mappers;
+    std::vector<sim::Host*> reducers;
+    std::vector<sim::PipelineSwitchNode*> daiet_switches;
+    std::vector<std::shared_ptr<DaietSwitchProgram>> programs;
+    std::unique_ptr<Controller> controller;
+    std::vector<std::uint32_t> expected_ends;  // per reducer
+
+    explicit Cluster(std::uint64_t seed)
+        : net{std::make_unique<sim::Network>(seed)} {}
+};
+
+/// Interleave reducers evenly among the host slots so that leaf-spine
+/// placements spread both roles across racks.
+bool is_reducer_slot(std::size_t i, std::size_t total, std::size_t reducers) {
+    return (i + 1) * reducers / total > i * reducers / total;
+}
+
+dp::SwitchConfig switch_config_for(const JobOptions& o, std::size_t ports) {
+    dp::SwitchConfig cfg;
+    cfg.num_ports = static_cast<std::uint16_t>(ports + 2);
+    // SRAM sized like the paper's estimate: ~10 MB of register state is
+    // "a reasonable amount of memory for a hardware P4 switch" (§5);
+    // give the chip 2 MiB of headroom for the flow tables.
+    const std::size_t per_tree =
+        o.daiet.register_size * (Key16::width + sizeof(WireValue) + sizeof(std::uint32_t)) +
+        o.daiet.spillover_capacity * sizeof(KvPair) + 64;
+    cfg.sram_bytes = o.daiet.max_trees * per_tree + (2u << 20);
+    return cfg;
+}
+
+Cluster build_cluster(const Corpus& corpus, const JobOptions& o) {
+    const std::size_t m = corpus.config().num_mappers;
+    const std::size_t r = corpus.config().num_reducers;
+    const std::size_t total = m + r;
+    Cluster c{o.seed};
+
+    const bool daiet_mode = o.mode == ShuffleMode::kDaiet;
+    std::vector<sim::Node*> edge_switches;
+
+    if (!o.leaf_spine) {
+        sim::Node* tor = nullptr;
+        if (daiet_mode) {
+            auto& sw = c.net->add_pipeline_switch("tor", switch_config_for(o, total));
+            c.programs.push_back(load_daiet_program(o.daiet, sw.chip()));
+            c.daiet_switches.push_back(&sw);
+            tor = &sw;
+        } else {
+            tor = &c.net->add_l2_switch("tor");
+        }
+        edge_switches.assign(total, tor);
+    } else {
+        DAIET_EXPECTS(o.n_leaf > 0 && o.n_spine > 0);
+        std::vector<sim::Node*> leaves;
+        std::vector<sim::Node*> spines;
+        const std::size_t hosts_per_leaf = (total + o.n_leaf - 1) / o.n_leaf;
+        for (std::size_t s = 0; s < o.n_spine; ++s) {
+            if (daiet_mode) {
+                auto& sw = c.net->add_pipeline_switch(
+                    "spine" + std::to_string(s), switch_config_for(o, o.n_leaf));
+                c.programs.push_back(load_daiet_program(o.daiet, sw.chip()));
+                c.daiet_switches.push_back(&sw);
+                spines.push_back(&sw);
+            } else {
+                spines.push_back(&c.net->add_l2_switch("spine" + std::to_string(s)));
+            }
+        }
+        for (std::size_t l = 0; l < o.n_leaf; ++l) {
+            sim::Node* leaf = nullptr;
+            if (daiet_mode) {
+                auto& sw = c.net->add_pipeline_switch(
+                    "leaf" + std::to_string(l),
+                    switch_config_for(o, hosts_per_leaf + o.n_spine));
+                c.programs.push_back(load_daiet_program(o.daiet, sw.chip()));
+                c.daiet_switches.push_back(&sw);
+                leaf = &sw;
+            } else {
+                leaf = &c.net->add_l2_switch("leaf" + std::to_string(l));
+            }
+            for (sim::Node* spine : spines) c.net->connect(*leaf, *spine, o.link);
+            leaves.push_back(leaf);
+        }
+        edge_switches.resize(total);
+        for (std::size_t i = 0; i < total; ++i) {
+            edge_switches[i] = leaves[i / hosts_per_leaf];
+        }
+    }
+
+    for (std::size_t i = 0; i < total; ++i) {
+        const bool reducer = is_reducer_slot(i, total, r);
+        auto& host = c.net->add_host((reducer ? "reducer" : "mapper") +
+                                    std::to_string(reducer ? c.reducers.size()
+                                                           : c.mappers.size()));
+        c.net->connect(host, *edge_switches[i], o.link);
+        (reducer ? c.reducers : c.mappers).push_back(&host);
+    }
+    DAIET_EXPECTS(c.mappers.size() == m && c.reducers.size() == r);
+
+    c.net->install_routes();
+
+    c.expected_ends.assign(r, static_cast<std::uint32_t>(m));
+    if (daiet_mode) {
+        c.controller = std::make_unique<Controller>(*c.net, o.daiet);
+        for (std::size_t i = 0; i < c.daiet_switches.size(); ++i) {
+            c.controller->register_program(c.daiet_switches[i]->id(), c.programs[i]);
+        }
+        for (std::size_t t = 0; t < r; ++t) {
+            TreeSpec spec;
+            spec.id = static_cast<TreeId>(t);
+            spec.reducer = c.reducers[t];
+            spec.mappers = c.mappers;
+            spec.fn = AggFnId::kSumI32;
+            const TreeLayout& layout = c.controller->setup_tree(spec);
+            c.expected_ends[t] = layout.reducer_expected_ends;
+        }
+    }
+    return c;
+}
+
+/// Reference reduce output for one partition, computed locally.
+std::vector<KvPair> partition_reference(const std::vector<MapOutput>& maps,
+                                        std::size_t partition) {
+    std::vector<KvPair> all;
+    for (const auto& mo : maps) {
+        const auto recs = mo.partitions[partition].all_records();
+        all.insert(all.end(), recs.begin(), recs.end());
+    }
+    return reduce_pairs(all, AggFnId::kSumI32);
+}
+
+void finalize_reducer(JobResult& result, const Cluster& c, std::size_t r,
+                      const std::vector<MapOutput>& maps, std::vector<KvPair> output,
+                      std::uint64_t pairs_received, std::uint64_t payload_bytes,
+                      double reduce_seconds) {
+    const auto reference = partition_reference(maps, r);
+    if (output != reference) {
+        throw std::runtime_error{"WordCount: reducer " + std::to_string(r) +
+                                 " output mismatch (" + std::to_string(output.size()) +
+                                 " keys vs " + std::to_string(reference.size()) +
+                                 " expected) -- aggregation broke correctness"};
+    }
+    ReducerMetrics metrics;
+    metrics.index = r;
+    metrics.pairs_received = pairs_received;
+    metrics.payload_bytes_received = payload_bytes;
+    metrics.frames_received = c.reducers[r]->counters().frames_rx;
+    metrics.reduce_seconds = reduce_seconds;
+    metrics.output_keys = output.size();
+    result.reducers.push_back(metrics);
+    for (const KvPair& p : output) {
+        result.output.emplace_back(p.key.to_string(), i32_from_wire(p.value));
+    }
+}
+
+void run_udp_shuffle(JobResult& result, Cluster& c,
+                     const std::vector<MapOutput>& maps, const JobOptions& o) {
+    const std::size_t m = c.mappers.size();
+    const std::size_t r = c.reducers.size();
+
+    std::vector<std::unique_ptr<RawCollector>> collectors;
+    collectors.reserve(r);
+    for (std::size_t i = 0; i < r; ++i) {
+        collectors.push_back(std::make_unique<RawCollector>(
+            *c.reducers[i], o.daiet, static_cast<TreeId>(i), c.expected_ends[i]));
+    }
+
+    // One sender per (mapper, tree); mappers start staggered by 1 us.
+    std::vector<std::vector<MapperSender>> senders(m);
+    for (std::size_t mi = 0; mi < m; ++mi) {
+        senders[mi].reserve(r);
+        for (std::size_t ri = 0; ri < r; ++ri) {
+            senders[mi].emplace_back(*c.mappers[mi], o.daiet, static_cast<TreeId>(ri),
+                                     c.reducers[ri]->addr());
+        }
+    }
+    for (std::size_t mi = 0; mi < m; ++mi) {
+        c.net->simulator().schedule_at(
+            static_cast<sim::SimTime>(mi) * sim::kMicrosecond, [&, mi] {
+                for (std::size_t ri = 0; ri < r; ++ri) {
+                    senders[mi][ri].send_serialized(maps[mi].partitions[ri].bytes());
+                    senders[mi][ri].finish();
+                }
+            });
+    }
+
+    result.sim_duration = c.net->run();
+
+    for (std::size_t i = 0; i < r; ++i) {
+        if (!collectors[i]->complete()) {
+            throw std::runtime_error{"WordCount: reducer " + std::to_string(i) +
+                                     " saw only " + std::to_string(collectors[i]->ends()) +
+                                     "/" + std::to_string(c.expected_ends[i]) +
+                                     " END packets"};
+        }
+        if (!collectors[i]->clean()) {
+            throw std::runtime_error{"WordCount: reducer " + std::to_string(i) +
+                                     " stream flagged dirty (lost pairs)"};
+        }
+    }
+
+    for (std::size_t i = 0; i < r; ++i) {
+        const auto& payloads = collectors[i]->payloads();
+        std::vector<KvPair> output;
+        const double secs = time_seconds(
+            [&] { output = reduce_daiet_payloads(payloads, AggFnId::kSumI32); });
+        finalize_reducer(result, c, i, maps, std::move(output),
+                         collectors[i]->pair_count(), collectors[i]->payload_bytes(),
+                         secs);
+    }
+}
+
+void run_tcp_shuffle(JobResult& result, Cluster& c,
+                     const std::vector<MapOutput>& maps, const JobOptions& o) {
+    const std::size_t m = c.mappers.size();
+    const std::size_t r = c.reducers.size();
+
+    // Mapper-side sort (the baseline sorts at the mapper, §4) and
+    // re-serialization, done before the network phase starts.
+    std::vector<std::vector<IntermediateFile>> sorted_files(m);
+    for (std::size_t mi = 0; mi < m; ++mi) {
+        sorted_files[mi].resize(r);
+        for (std::size_t ri = 0; ri < r; ++ri) {
+            auto records = maps[mi].partitions[ri].all_records();
+            std::sort(records.begin(), records.end(),
+                      [](const KvPair& a, const KvPair& b) { return a.key < b.key; });
+            for (const KvPair& p : records) sorted_files[mi][ri].append(p);
+        }
+    }
+
+    // Reducer-side stream collection: one (key-sorted) run per inbound
+    // connection; bytes stay raw until the timed reduce step.
+    struct RunState {
+        std::vector<std::byte> bytes;
+        bool closed{false};
+    };
+    std::vector<std::vector<std::shared_ptr<RunState>>> runs(r);
+    std::vector<std::size_t> closed_count(r, 0);
+
+    for (std::size_t ri = 0; ri < r; ++ri) {
+        c.reducers[ri]->tcp_listen(kTcpShufflePort, [&, ri](sim::TcpConnection& conn) {
+            auto state = std::make_shared<RunState>();
+            runs[ri].push_back(state);
+            conn.on_data = [state](std::span<const std::byte> bytes) {
+                state->bytes.insert(state->bytes.end(), bytes.begin(), bytes.end());
+            };
+            conn.on_closed = [state, &closed_count, ri] {
+                state->closed = true;
+                ++closed_count[ri];
+            };
+        });
+    }
+
+    for (std::size_t mi = 0; mi < m; ++mi) {
+        c.net->simulator().schedule_at(
+            static_cast<sim::SimTime>(mi) * sim::kMicrosecond, [&, mi] {
+                for (std::size_t ri = 0; ri < r; ++ri) {
+                    auto& conn =
+                        c.mappers[mi]->tcp_connect(c.reducers[ri]->addr(), kTcpShufflePort);
+                    conn.on_established = [&conn, &file = sorted_files[mi][ri], &o] {
+                        const auto bytes = file.bytes();
+                        for (std::size_t off = 0; off < bytes.size();
+                             off += o.tcp_app_chunk_bytes) {
+                            const std::size_t n =
+                                std::min(o.tcp_app_chunk_bytes, bytes.size() - off);
+                            conn.send(bytes.subspan(off, n));
+                        }
+                        conn.close();
+                    };
+                }
+            });
+    }
+
+    result.sim_duration = c.net->run();
+
+    for (std::size_t ri = 0; ri < r; ++ri) {
+        if (closed_count[ri] != m) {
+            throw std::runtime_error{"WordCount/TCP: reducer " + std::to_string(ri) +
+                                     " completed " + std::to_string(closed_count[ri]) +
+                                     "/" + std::to_string(m) + " connections"};
+        }
+    }
+
+    for (std::size_t ri = 0; ri < r; ++ri) {
+        std::vector<std::vector<std::byte>> streams;
+        std::uint64_t pairs = 0;
+        streams.reserve(runs[ri].size());
+        for (const auto& state : runs[ri]) {
+            pairs += state->bytes.size() / kPairWireSize;
+            streams.push_back(state->bytes);
+        }
+        std::vector<KvPair> output;
+        const double secs = time_seconds([&] {
+            output = o.baseline_merge_reducer
+                         ? reduce_sorted_streams(streams, AggFnId::kSumI32)
+                         : reduce_streams(streams, AggFnId::kSumI32);
+        });
+        finalize_reducer(result, c, ri, maps, std::move(output), pairs,
+                         c.reducers[ri]->counters().tcp_payload_bytes_rx, secs);
+    }
+}
+
+}  // namespace
+
+JobResult run_wordcount_job(const Corpus& corpus, const JobOptions& options) {
+    const std::size_t m = corpus.config().num_mappers;
+    const std::size_t r = corpus.config().num_reducers;
+    DAIET_EXPECTS(r <= options.daiet.max_trees || options.mode != ShuffleMode::kDaiet);
+
+    // --- map phase ----------------------------------------------------------
+    std::vector<MapOutput> maps;
+    maps.reserve(m);
+    JobResult result;
+    result.mode = options.mode;
+    for (std::size_t mi = 0; mi < m; ++mi) {
+        maps.push_back(run_wordcount_map(corpus.split_text(mi), corpus, r,
+                                         options.worker_combiner));
+        result.map_words += maps.back().words_processed;
+        for (const auto& file : maps.back().partitions) {
+            result.total_pairs_shuffled += file.record_count();
+        }
+    }
+
+    // --- shuffle + reduce ---------------------------------------------------
+    Cluster cluster = build_cluster(corpus, options);
+    if (options.mode == ShuffleMode::kTcpBaseline) {
+        run_tcp_shuffle(result, cluster, maps, options);
+    } else {
+        run_udp_shuffle(result, cluster, maps, options);
+    }
+
+    std::sort(result.output.begin(), result.output.end());
+    for (const auto* sw : cluster.daiet_switches) {
+        result.switch_recirculations += sw->chip().stats().recirculations;
+        result.switch_sram_used_bytes =
+            std::max(result.switch_sram_used_bytes, sw->chip().sram().used_bytes());
+    }
+    return result;
+}
+
+}  // namespace daiet::mr

@@ -1,0 +1,100 @@
+// WordCount-over-shuffle job orchestration: the paper's §5 experiment.
+//
+// One function runs the full pipeline — map, shuffle through the
+// simulated network, reduce — under one of three shuffle transports:
+//
+//   kTcpBaseline  "the original TCP-based data exchange": mappers sort
+//                 each partition, stream it over TCP (1 KiB application
+//                 writes, Nagle off), reducers k-way-merge sorted runs.
+//   kUdpNoAgg     "using UDP and the DAIET protocol, but without
+//                 executing data aggregation in the switch": plain L2
+//                 forwarding of DAIET packets.
+//   kDaiet        in-network aggregation on the programmable ToR.
+//
+// The returned metrics are exactly the quantities behind Figure 3:
+// per-reducer received data volume, received packet counts, and
+// measured reduce time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mapreduce/corpus.hpp"
+#include "netsim/link.hpp"
+#include "netsim/time.hpp"
+
+namespace daiet::mr {
+
+enum class ShuffleMode : std::uint8_t { kTcpBaseline, kUdpNoAgg, kDaiet };
+
+constexpr std::string_view to_string(ShuffleMode mode) noexcept {
+    switch (mode) {
+        case ShuffleMode::kTcpBaseline: return "tcp-baseline";
+        case ShuffleMode::kUdpNoAgg: return "udp-no-agg";
+        case ShuffleMode::kDaiet: return "daiet";
+    }
+    return "unknown";
+}
+
+struct JobOptions {
+    ShuffleMode mode{ShuffleMode::kDaiet};
+    Config daiet{};
+    /// Worker-level combiner in map tasks (ablation A7).
+    bool worker_combiner{false};
+    /// Application write granularity for the TCP baseline (spill-buffer
+    /// chunk size; Nagle disabled, so this sets the segment size).
+    std::size_t tcp_app_chunk_bytes{1024};
+    /// Ablation A8: let the TCP-baseline reducer exploit mapper-side
+    /// sorting with a k-way merge instead of the default sort-based
+    /// grouping that all reducers share.
+    bool baseline_merge_reducer{false};
+    sim::LinkParams link{};
+    std::uint64_t seed{7};
+    /// Use a 2-tier leaf-spine fabric instead of a single ToR
+    /// (ablation A5: multi-level aggregation trees).
+    bool leaf_spine{false};
+    std::size_t n_leaf{4};
+    std::size_t n_spine{2};
+};
+
+struct ReducerMetrics {
+    std::size_t index{0};
+    std::uint64_t pairs_received{0};
+    std::uint64_t payload_bytes_received{0};  ///< L4 payload (data volume)
+    std::uint64_t frames_received{0};         ///< packets at the reducer NIC
+    double reduce_seconds{0.0};
+    std::size_t output_keys{0};
+};
+
+struct JobResult {
+    ShuffleMode mode{};
+    std::vector<ReducerMetrics> reducers;
+    /// Final output, merged across reducers and sorted (for correctness
+    /// checks against Corpus::reference_counts()).
+    std::vector<std::pair<std::string, std::int64_t>> output;
+    std::uint64_t total_pairs_shuffled{0};
+    std::uint64_t switch_recirculations{0};
+    std::size_t switch_sram_used_bytes{0};
+    sim::SimTime sim_duration{0};
+    std::uint64_t map_words{0};
+
+    std::uint64_t total_frames_at_reducers() const noexcept {
+        std::uint64_t t = 0;
+        for (const auto& r : reducers) t += r.frames_received;
+        return t;
+    }
+    std::uint64_t total_payload_bytes_at_reducers() const noexcept {
+        std::uint64_t t = 0;
+        for (const auto& r : reducers) t += r.payload_bytes_received;
+        return t;
+    }
+};
+
+/// Run the full job. Throws on protocol failure (e.g. missing ENDs) or
+/// if any reducer output disagrees with a locally computed reference.
+JobResult run_wordcount_job(const Corpus& corpus, const JobOptions& options);
+
+}  // namespace daiet::mr

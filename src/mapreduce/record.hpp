@@ -1,0 +1,80 @@
+// Fixed-size intermediate records (paper §4).
+//
+// "We have carefully defined how the output of the map task is
+// serialized in the local file, so that packets are transmitted without
+// partial pairs. In fact, data cannot be deserialized during
+// packetization ... therefore we use a fixed-size representation for
+// the pairs, so that it is easy to calculate the offsets of pairs in
+// the file and extract a number of complete pairs."
+//
+// IntermediateFile models that on-disk map output: a flat byte buffer
+// of 20-byte records (16 B zero-padded key + 4 B value). The shuffle
+// layer slices complete records straight out of the buffer without
+// deserializing — exactly the paper's packetization path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/contracts.hpp"
+#include "core/protocol.hpp"
+
+namespace daiet::mr {
+
+class IntermediateFile {
+public:
+    static constexpr std::size_t kRecordSize = kPairWireSize;  // 20 bytes
+
+    void append(const KvPair& pair) {
+        const std::size_t off = bytes_.size();
+        bytes_.resize(off + kRecordSize);
+        std::copy(pair.key.bytes().begin(), pair.key.bytes().end(),
+                  bytes_.begin() + static_cast<std::ptrdiff_t>(off));
+        // Big-endian value, matching the wire format.
+        for (int i = 0; i < 4; ++i) {
+            bytes_[off + Key16::width + static_cast<std::size_t>(i)] =
+                static_cast<std::byte>(pair.value >> (24 - 8 * i));
+        }
+    }
+
+    std::size_t record_count() const noexcept { return bytes_.size() / kRecordSize; }
+    std::size_t size_bytes() const noexcept { return bytes_.size(); }
+    bool empty() const noexcept { return bytes_.empty(); }
+
+    /// Raw view of records [first, first+n) — the packetizer's
+    /// offset-arithmetic slice (no deserialization).
+    std::span<const std::byte> slice(std::size_t first, std::size_t n) const {
+        DAIET_EXPECTS((first + n) * kRecordSize <= bytes_.size());
+        return std::span{bytes_}.subspan(first * kRecordSize, n * kRecordSize);
+    }
+
+    /// Deserialize record `i` (used by the reducer and by tests).
+    KvPair record(std::size_t i) const {
+        DAIET_EXPECTS(i < record_count());
+        const auto raw = slice(i, 1);
+        KvPair p;
+        p.key = Key16{raw.subspan(0, Key16::width)};
+        WireValue v = 0;
+        for (int b = 0; b < 4; ++b) {
+            v = v << 8 | static_cast<WireValue>(raw[Key16::width + static_cast<std::size_t>(b)]);
+        }
+        p.value = v;
+        return p;
+    }
+
+    std::vector<KvPair> all_records() const {
+        std::vector<KvPair> out;
+        out.reserve(record_count());
+        for (std::size_t i = 0; i < record_count(); ++i) out.push_back(record(i));
+        return out;
+    }
+
+    std::span<const std::byte> bytes() const noexcept { return bytes_; }
+
+private:
+    std::vector<std::byte> bytes_;
+};
+
+}  // namespace daiet::mr

@@ -1,0 +1,50 @@
+#include "mapreduce/wordcount.hpp"
+
+#include <unordered_map>
+
+#include "common/contracts.hpp"
+
+namespace daiet::mr {
+
+MapOutput run_wordcount_map(std::string_view text, const Corpus& corpus,
+                            std::size_t num_partitions, bool combine) {
+    DAIET_EXPECTS(num_partitions > 0);
+    // The corpus's hash partitioner targets its configured reducer
+    // count; a mismatched partition count would scatter keys out of
+    // range.
+    DAIET_EXPECTS(num_partitions == corpus.config().num_reducers);
+    MapOutput out;
+    out.partitions.resize(num_partitions);
+
+    // Combiner state (only used when combine == true): per-partition
+    // word -> local count.
+    std::vector<std::unordered_map<Key16, std::int32_t>> local(
+        combine ? num_partitions : 0);
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t end = std::min(text.find(' ', pos), text.size());
+        const std::string_view word = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (word.empty()) continue;
+        ++out.words_processed;
+        const auto part = corpus.partition_of(word);
+        const Key16 key{word};
+        if (combine) {
+            ++local[part][key];
+        } else {
+            out.partitions[part].append(KvPair{key, wire_from_i32(1)});
+        }
+    }
+
+    if (combine) {
+        for (std::size_t p = 0; p < num_partitions; ++p) {
+            for (const auto& [key, count] : local[p]) {
+                out.partitions[p].append(KvPair{key, wire_from_i32(count)});
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace daiet::mr

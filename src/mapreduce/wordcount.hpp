@@ -1,0 +1,27 @@
+// WordCount map task (the paper's §5 benchmark application).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "mapreduce/corpus.hpp"
+#include "mapreduce/record.hpp"
+
+namespace daiet::mr {
+
+/// Output of one map task: one intermediate file per reducer partition.
+struct MapOutput {
+    std::vector<IntermediateFile> partitions;
+    std::size_t words_processed{0};
+};
+
+/// Tokenize `text`, emit (word, 1) per token, partition by the job's
+/// hash partitioner. `combine` enables a worker-level combiner that
+/// pre-aggregates counts *within this map task* before serialization —
+/// the paper's §1 observation that frameworks already aggregate at the
+/// worker level, "missing the opportunity of achieving better traffic
+/// reduction ratios when applied at the network level".
+MapOutput run_wordcount_map(std::string_view text, const Corpus& corpus,
+                            std::size_t num_partitions, bool combine = false);
+
+}  // namespace daiet::mr

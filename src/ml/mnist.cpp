@@ -1,0 +1,66 @@
+#include "ml/mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace daiet::ml {
+
+SyntheticMnist::SyntheticMnist(MnistConfig config) : config_{config} {
+    DAIET_EXPECTS(config_.hot_radius < config_.medium_radius);
+    DAIET_EXPECTS(config_.rare_lo > 0.0 && config_.rare_lo <= config_.rare_hi);
+
+    Rng rng{config_.seed};
+    rates_.resize(kImagePixels);
+    const double cx = (kImageSide - 1) / 2.0;
+    const double cy = (kImageSide - 1) / 2.0;
+    for (std::size_t p = 0; p < kImagePixels; ++p) {
+        const double x = static_cast<double>(p % kImageSide);
+        const double y = static_cast<double>(p / kImageSide);
+        const double r = std::hypot(x - cx, y - cy);
+        if (r < config_.hot_radius) {
+            rates_[p] = config_.hot_rate;
+        } else if (r < config_.medium_radius) {
+            rates_[p] = config_.medium_rate;
+        } else {
+            // Log-uniform rare rate: many near-dead pixels with a tail.
+            const double lo = std::log(config_.rare_lo);
+            const double hi = std::log(config_.rare_hi);
+            rates_[p] = std::exp(lo + (hi - lo) * rng.next_double());
+        }
+    }
+
+    // Class templates: distinct per-class mean intensities so that the
+    // classes are separable (training must actually learn something).
+    templates_.resize(kNumClasses);
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+        templates_[c].resize(kImagePixels);
+        for (std::size_t p = 0; p < kImagePixels; ++p) {
+            templates_[c][p] =
+                static_cast<float>(0.3 + 0.7 * rng.next_double());
+        }
+    }
+}
+
+Sample SyntheticMnist::sample(std::uint8_t label, Rng& rng) const {
+    DAIET_EXPECTS(label < kNumClasses);
+    Sample s;
+    s.label = label;
+    for (std::size_t p = 0; p < kImagePixels; ++p) {
+        if (rng.next_bool(rates_[p])) {
+            const double noise = 0.15 * rng.next_gaussian();
+            const double v = std::clamp(
+                static_cast<double>(templates_[label][p]) + noise, 0.05, 1.0);
+            s.active_pixels.push_back(static_cast<std::uint16_t>(p));
+            s.values.push_back(static_cast<float>(v));
+        }
+    }
+    return s;
+}
+
+Sample SyntheticMnist::sample(Rng& rng) const {
+    return sample(static_cast<std::uint8_t>(rng.next_below(kNumClasses)), rng);
+}
+
+}  // namespace daiet::ml

@@ -1,0 +1,108 @@
+#include "ml/model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "common/contracts.hpp"
+
+namespace daiet::ml {
+
+std::array<float, kNumClasses> SoftmaxModel::predict(const Sample& s) const {
+    std::array<float, kNumClasses> logits{};
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+        logits[c] = params_[b_index(c)];
+    }
+    for (std::size_t i = 0; i < s.active_pixels.size(); ++i) {
+        const std::size_t p = s.active_pixels[i];
+        const float x = s.values[i];
+        for (std::size_t c = 0; c < kNumClasses; ++c) {
+            logits[c] += params_[w_index(p, c)] * x;
+        }
+    }
+    // Numerically stable softmax.
+    const float maxv = *std::max_element(logits.begin(), logits.end());
+    float sum = 0.0F;
+    for (auto& l : logits) {
+        l = std::exp(l - maxv);
+        sum += l;
+    }
+    for (auto& l : logits) l /= sum;
+    return logits;
+}
+
+double SoftmaxModel::loss(std::span<const Sample> batch) const {
+    DAIET_EXPECTS(!batch.empty());
+    double total = 0.0;
+    for (const Sample& s : batch) {
+        const auto probs = predict(s);
+        total -= std::log(std::max(1e-12F, probs[s.label]));
+    }
+    return total / static_cast<double>(batch.size());
+}
+
+double SoftmaxModel::accuracy(std::span<const Sample> batch) const {
+    DAIET_EXPECTS(!batch.empty());
+    std::size_t correct = 0;
+    for (const Sample& s : batch) {
+        const auto probs = predict(s);
+        const auto arg = static_cast<std::size_t>(
+            std::max_element(probs.begin(), probs.end()) - probs.begin());
+        if (arg == s.label) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(batch.size());
+}
+
+SparseGradient SoftmaxModel::gradient(std::span<const Sample> batch) const {
+    DAIET_EXPECTS(!batch.empty());
+    const float inv_n = 1.0F / static_cast<float>(batch.size());
+
+    // Union of active pixels across the batch (the gradient support).
+    std::set<std::uint16_t> active;
+    for (const Sample& s : batch) {
+        active.insert(s.active_pixels.begin(), s.active_pixels.end());
+    }
+
+    // Per-sample error vector (softmax - onehot).
+    std::vector<std::array<float, kNumClasses>> errors;
+    errors.reserve(batch.size());
+    for (const Sample& s : batch) {
+        auto probs = predict(s);
+        probs[s.label] -= 1.0F;
+        errors.push_back(probs);
+    }
+
+    SparseGradient grad;
+    grad.indices.reserve(active.size() * kNumClasses + kNumClasses);
+    grad.values.reserve(active.size() * kNumClasses + kNumClasses);
+
+    for (const std::uint16_t p : active) {
+        std::array<float, kNumClasses> col{};
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const Sample& s = batch[i];
+            const auto it = std::lower_bound(s.active_pixels.begin(),
+                                             s.active_pixels.end(), p);
+            if (it == s.active_pixels.end() || *it != p) continue;
+            const float x =
+                s.values[static_cast<std::size_t>(it - s.active_pixels.begin())];
+            for (std::size_t c = 0; c < kNumClasses; ++c) {
+                col[c] += errors[i][c] * x;
+            }
+        }
+        for (std::size_t c = 0; c < kNumClasses; ++c) {
+            grad.indices.push_back(static_cast<std::uint32_t>(w_index(p, c)));
+            grad.values.push_back(col[c] * inv_n);
+        }
+    }
+    // Bias block (dense: every sample contributes to every class bias).
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+        float g = 0.0F;
+        for (const auto& e : errors) g += e[c];
+        grad.indices.push_back(static_cast<std::uint32_t>(b_index(c)));
+        grad.values.push_back(g * inv_n);
+    }
+    return grad;
+}
+
+}  // namespace daiet::ml

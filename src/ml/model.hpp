@@ -1,0 +1,64 @@
+// Softmax regression ("Soft-Max Neural Network" in the paper's §3):
+// a 784 x 10 weight matrix plus bias, trained with cross-entropy.
+//
+// Gradients are computed in *sparse column form*: for a mini-batch, the
+// gradient of W is nonzero exactly in the columns of pixels that are
+// active in at least one batch sample. This sparsity is what creates
+// partial update overlap across workers — the phenomenon Figure 1(a-b)
+// quantifies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/mnist.hpp"
+
+namespace daiet::ml {
+
+/// Number of scalar parameters: W (784*10) then b (10).
+inline constexpr std::size_t kParamCount = kImagePixels * kNumClasses + kNumClasses;
+
+/// Flat parameter index of W[pixel][cls].
+constexpr std::size_t w_index(std::size_t pixel, std::size_t cls) noexcept {
+    return pixel * kNumClasses + cls;
+}
+/// Flat parameter index of b[cls].
+constexpr std::size_t b_index(std::size_t cls) noexcept {
+    return kImagePixels * kNumClasses + cls;
+}
+
+/// Sparse gradient: parallel arrays of (flat parameter index, value).
+/// Indices are strictly increasing.
+struct SparseGradient {
+    std::vector<std::uint32_t> indices;
+    std::vector<float> values;
+
+    std::size_t size() const noexcept { return indices.size(); }
+};
+
+class SoftmaxModel {
+public:
+    SoftmaxModel() : params_(kParamCount, 0.0F) {}
+
+    /// Class probabilities for a sparse sample.
+    std::array<float, kNumClasses> predict(const Sample& s) const;
+
+    /// Cross-entropy loss averaged over `batch`.
+    double loss(std::span<const Sample> batch) const;
+
+    /// Fraction of `batch` classified correctly.
+    double accuracy(std::span<const Sample> batch) const;
+
+    /// Mean cross-entropy gradient over `batch`, in sparse form (only
+    /// columns of active pixels, plus the always-dense bias block).
+    SparseGradient gradient(std::span<const Sample> batch) const;
+
+    std::span<float> parameters() noexcept { return params_; }
+    std::span<const float> parameters() const noexcept { return params_; }
+
+private:
+    std::vector<float> params_;
+};
+
+}  // namespace daiet::ml

@@ -1,0 +1,74 @@
+// Optimizers applied by the parameter server to aggregated gradients:
+// mini-batch SGD and Adam (Kingma & Ba, the paper's two workloads).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace daiet::ml {
+
+class Optimizer {
+public:
+    virtual ~Optimizer() = default;
+
+    /// Apply an aggregated sparse gradient to `params` in place.
+    virtual void apply(std::span<float> params, const SparseGradient& grad) = 0;
+};
+
+class SgdOptimizer final : public Optimizer {
+public:
+    explicit SgdOptimizer(float learning_rate) : lr_{learning_rate} {}
+
+    void apply(std::span<float> params, const SparseGradient& grad) override {
+        for (std::size_t i = 0; i < grad.size(); ++i) {
+            params[grad.indices[i]] -= lr_ * grad.values[i];
+        }
+    }
+
+private:
+    float lr_;
+};
+
+/// Adam with bias correction. Moment state is dense (one slot per
+/// parameter); the step counter is global, matching the common
+/// parameter-server implementation of sparse Adam.
+class AdamOptimizer final : public Optimizer {
+public:
+    explicit AdamOptimizer(std::size_t param_count, float learning_rate = 1e-3F,
+                           float beta1 = 0.9F, float beta2 = 0.999F,
+                           float epsilon = 1e-8F)
+        : lr_{learning_rate}, beta1_{beta1}, beta2_{beta2}, eps_{epsilon},
+          m_(param_count, 0.0F), v_(param_count, 0.0F) {}
+
+    void apply(std::span<float> params, const SparseGradient& grad) override {
+        ++t_;
+        const auto t = static_cast<float>(t_);
+        const float bc1 = 1.0F - std::pow(beta1_, t);
+        const float bc2 = 1.0F - std::pow(beta2_, t);
+        for (std::size_t i = 0; i < grad.size(); ++i) {
+            const std::uint32_t idx = grad.indices[i];
+            const float g = grad.values[i];
+            m_[idx] = beta1_ * m_[idx] + (1.0F - beta1_) * g;
+            v_[idx] = beta2_ * v_[idx] + (1.0F - beta2_) * g * g;
+            const float mhat = m_[idx] / bc1;
+            const float vhat = v_[idx] / bc2;
+            params[idx] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+
+    std::uint64_t steps() const noexcept { return t_; }
+
+private:
+    float lr_;
+    float beta1_;
+    float beta2_;
+    float eps_;
+    std::vector<float> m_;
+    std::vector<float> v_;
+    std::uint64_t t_{0};
+};
+
+}  // namespace daiet::ml

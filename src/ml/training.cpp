@@ -1,0 +1,143 @@
+#include "ml/training.hpp"
+
+#include <map>
+#include <memory>
+
+#include "common/contracts.hpp"
+
+namespace daiet::ml {
+
+double update_overlap(const std::vector<std::vector<std::uint32_t>>& worker_updates,
+                      std::size_t param_count) {
+    std::vector<std::uint8_t> counts(param_count, 0);
+    for (const auto& updates : worker_updates) {
+        for (const std::uint32_t idx : updates) {
+            DAIET_EXPECTS(idx < param_count);
+            if (counts[idx] < 255) ++counts[idx];
+        }
+    }
+    std::size_t once = 0;
+    std::size_t multi = 0;
+    for (const std::uint8_t c : counts) {
+        if (c >= 1) ++once;
+        if (c >= 2) ++multi;
+    }
+    return once == 0 ? 0.0 : static_cast<double>(multi) / static_cast<double>(once);
+}
+
+TrainingResult train_parameter_server(const TrainingConfig& config) {
+    DAIET_EXPECTS(config.num_workers >= 1);
+    DAIET_EXPECTS(config.batch_size >= 1);
+    DAIET_EXPECTS(config.steps >= 1);
+
+    const SyntheticMnist dataset{config.data};
+    SoftmaxModel model;
+    std::unique_ptr<Optimizer> optimizer;
+    if (config.optimizer == OptimizerKind::kSgd) {
+        optimizer = std::make_unique<SgdOptimizer>(config.sgd_learning_rate);
+    } else {
+        optimizer = std::make_unique<AdamOptimizer>(kParamCount,
+                                                    config.adam_learning_rate);
+    }
+
+    Rng master{config.seed};
+    std::vector<Rng> worker_rngs;
+    worker_rngs.reserve(config.num_workers);
+    for (std::size_t w = 0; w < config.num_workers; ++w) {
+        worker_rngs.push_back(master.fork());
+    }
+
+    // Held-out evaluation set.
+    Rng eval_rng = master.fork();
+    std::vector<Sample> eval_set;
+    eval_set.reserve(config.eval_samples);
+    for (std::size_t i = 0; i < config.eval_samples; ++i) {
+        eval_set.push_back(dataset.sample(eval_rng));
+    }
+
+    TrainingResult result;
+    result.steps.reserve(config.steps);
+    result.initial_loss = model.loss(eval_set);
+
+    std::vector<std::uint8_t> counts(kParamCount, 0);
+
+    for (std::size_t step = 0; step < config.steps; ++step) {
+        // Workers compute sparse gradients on the *same* parameters
+        // (synchronous data parallelism).
+        std::vector<SparseGradient> grads;
+        grads.reserve(config.num_workers);
+        double step_loss = 0.0;
+        for (std::size_t w = 0; w < config.num_workers; ++w) {
+            std::vector<Sample> batch;
+            batch.reserve(config.batch_size);
+            for (std::size_t b = 0; b < config.batch_size; ++b) {
+                batch.push_back(dataset.sample(worker_rngs[w]));
+            }
+            step_loss += model.loss(batch);
+            grads.push_back(model.gradient(batch));
+        }
+
+        // Overlap accounting.
+        std::fill(counts.begin(), counts.end(), 0);
+        std::size_t total_updates = 0;
+        for (const auto& g : grads) {
+            total_updates += g.size();
+            for (const std::uint32_t idx : g.indices) {
+                if (counts[idx] < 255) ++counts[idx];
+            }
+        }
+        std::size_t once = 0;
+        std::size_t multi = 0;
+        for (const std::uint8_t c : counts) {
+            if (c >= 1) ++once;
+            if (c >= 2) ++multi;
+        }
+
+        StepStats stats;
+        stats.step = step;
+        stats.union_elements = once;
+        stats.total_updates = total_updates;
+        stats.overlap = once == 0 ? 0.0
+                                  : static_cast<double>(multi) /
+                                        static_cast<double>(once);
+        stats.traffic_reduction =
+            total_updates == 0
+                ? 0.0
+                : 1.0 - static_cast<double>(once) / static_cast<double>(total_updates);
+        stats.loss = step_loss / static_cast<double>(config.num_workers);
+        result.steps.push_back(stats);
+
+        // Server-side aggregation: vector addition of the sparse
+        // updates (the combiner DAIET would run in-network), averaged.
+        std::map<std::uint32_t, float> aggregated;
+        for (const auto& g : grads) {
+            for (std::size_t i = 0; i < g.size(); ++i) {
+                aggregated[g.indices[i]] += g.values[i];
+            }
+        }
+        SparseGradient combined;
+        combined.indices.reserve(aggregated.size());
+        combined.values.reserve(aggregated.size());
+        const float inv_w = 1.0F / static_cast<float>(config.num_workers);
+        for (const auto& [idx, value] : aggregated) {
+            combined.indices.push_back(idx);
+            combined.values.push_back(value * inv_w);
+        }
+        optimizer->apply(model.parameters(), combined);
+    }
+
+    double overlap_sum = 0.0;
+    double reduction_sum = 0.0;
+    for (const auto& s : result.steps) {
+        overlap_sum += s.overlap;
+        reduction_sum += s.traffic_reduction;
+    }
+    result.mean_overlap = overlap_sum / static_cast<double>(result.steps.size());
+    result.mean_traffic_reduction =
+        reduction_sum / static_cast<double>(result.steps.size());
+    result.final_accuracy = model.accuracy(eval_set);
+    result.final_loss = model.loss(eval_set);
+    return result;
+}
+
+}  // namespace daiet::ml

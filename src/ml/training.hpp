@@ -1,0 +1,67 @@
+// Data-parallel parameter-server training (the paper's §3 setup:
+// "one acts as the parameter server while the other five machines run
+// as many worker processes ... each worker is training the same model
+// on different mini-batches").
+//
+// Per step, each worker computes a sparse gradient on its own
+// mini-batch; the server sums them and applies the optimizer. The
+// harness records, per step, the update-overlap statistic that
+// Figure 1(a-b) plots:
+//
+//   overlap = |elements updated by >= 2 workers| /
+//             |elements updated by >= 1 worker|
+//
+// and the corresponding achievable in-network traffic reduction
+// (1 - union/total), which is what DAIET would realize by summing the
+// updates inside the network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/mnist.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+
+namespace daiet::ml {
+
+enum class OptimizerKind : std::uint8_t { kSgd, kAdam };
+
+struct TrainingConfig {
+    std::size_t num_workers{5};
+    std::size_t batch_size{3};  ///< 3 for SGD, 100 for Adam in the paper
+    std::size_t steps{200};
+    OptimizerKind optimizer{OptimizerKind::kSgd};
+    float sgd_learning_rate{0.1F};
+    float adam_learning_rate{1e-3F};
+    MnistConfig data{};
+    std::size_t eval_samples{256};
+    std::uint64_t seed{99};
+};
+
+struct StepStats {
+    std::size_t step{0};
+    double overlap{0.0};
+    std::size_t union_elements{0};   ///< elements updated by >= 1 worker
+    std::size_t total_updates{0};    ///< sum of per-worker update counts
+    double traffic_reduction{0.0};   ///< 1 - union/total
+    double loss{0.0};                ///< mean worker training loss this step
+};
+
+struct TrainingResult {
+    std::vector<StepStats> steps;
+    double mean_overlap{0.0};
+    double mean_traffic_reduction{0.0};
+    double final_accuracy{0.0};  ///< on a held-out evaluation set
+    double initial_loss{0.0};
+    double final_loss{0.0};
+};
+
+TrainingResult train_parameter_server(const TrainingConfig& config);
+
+/// Overlap of a single step given each worker's updated-index sets;
+/// exposed separately for unit tests and analytical studies.
+double update_overlap(const std::vector<std::vector<std::uint32_t>>& worker_updates,
+                      std::size_t param_count = kParamCount);
+
+}  // namespace daiet::ml

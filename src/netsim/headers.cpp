@@ -1,0 +1,169 @@
+#include "netsim/headers.hpp"
+
+#include "common/contracts.hpp"
+
+namespace daiet::sim {
+
+namespace {
+
+void put_mac(ByteWriter& w, MacAddr mac) {
+    for (int shift = 40; shift >= 0; shift -= 8) {
+        w.put_u8(static_cast<std::uint8_t>(mac >> shift));
+    }
+}
+
+MacAddr get_mac(ByteReader& r) {
+    MacAddr mac = 0;
+    for (int i = 0; i < 6; ++i) {
+        mac = mac << 8 | r.get_u8();
+    }
+    return mac;
+}
+
+}  // namespace
+
+void EthernetHeader::serialize(ByteWriter& w) const {
+    put_mac(w, dst);
+    put_mac(w, src);
+    w.put_u16(ethertype);
+}
+
+EthernetHeader EthernetHeader::parse(ByteReader& r) {
+    EthernetHeader h;
+    h.dst = get_mac(r);
+    h.src = get_mac(r);
+    h.ethertype = r.get_u16();
+    return h;
+}
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+    w.put_u8(0x45);  // version 4, IHL 5 (no options)
+    w.put_u8(0);     // DSCP/ECN
+    w.put_u16(total_length);
+    w.put_u16(0);  // identification
+    w.put_u16(0);  // flags/fragment offset
+    w.put_u8(ttl);
+    w.put_u8(protocol);
+    w.put_u16(0);  // header checksum (not modelled)
+    w.put_u32(src);
+    w.put_u32(dst);
+}
+
+Ipv4Header Ipv4Header::parse(ByteReader& r) {
+    Ipv4Header h;
+    const std::uint8_t ver_ihl = r.get_u8();
+    if (ver_ihl != 0x45) {
+        throw BufferError{"Ipv4Header: unsupported version/IHL"};
+    }
+    r.skip(1);  // DSCP/ECN
+    h.total_length = r.get_u16();
+    r.skip(4);  // id + flags/frag
+    h.ttl = r.get_u8();
+    h.protocol = r.get_u8();
+    r.skip(2);  // checksum
+    h.src = r.get_u32();
+    h.dst = r.get_u32();
+    return h;
+}
+
+void UdpHeader::serialize(ByteWriter& w) const {
+    w.put_u16(src_port);
+    w.put_u16(dst_port);
+    w.put_u16(length);
+    w.put_u16(0);  // checksum (not modelled)
+}
+
+UdpHeader UdpHeader::parse(ByteReader& r) {
+    UdpHeader h;
+    h.src_port = r.get_u16();
+    h.dst_port = r.get_u16();
+    h.length = r.get_u16();
+    r.skip(2);
+    return h;
+}
+
+void TcpHeader::serialize(ByteWriter& w) const {
+    w.put_u16(src_port);
+    w.put_u16(dst_port);
+    w.put_u32(seq);
+    w.put_u32(ack);
+    w.put_u8(0x50);  // data offset 5 words, no options
+    w.put_u8(flags);
+    w.put_u16(window);
+    w.put_u16(0);  // checksum
+    w.put_u16(0);  // urgent pointer
+}
+
+TcpHeader TcpHeader::parse(ByteReader& r) {
+    TcpHeader h;
+    h.src_port = r.get_u16();
+    h.dst_port = r.get_u16();
+    h.seq = r.get_u32();
+    h.ack = r.get_u32();
+    const std::uint8_t offset = r.get_u8();
+    if (offset != 0x50) {
+        throw BufferError{"TcpHeader: options not supported"};
+    }
+    h.flags = r.get_u8();
+    h.window = r.get_u16();
+    r.skip(4);  // checksum + urgent
+    return h;
+}
+
+std::vector<std::byte> build_udp_frame(HostAddr src, HostAddr dst,
+                                       std::uint16_t src_port, std::uint16_t dst_port,
+                                       std::span<const std::byte> payload) {
+    ByteWriter w;
+    EthernetHeader eth{.dst = dst, .src = src, .ethertype = kEtherTypeIpv4};
+    Ipv4Header ip;
+    ip.protocol = kIpProtoUdp;
+    ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + UdpHeader::kSize +
+                                                 payload.size());
+    ip.src = src;
+    ip.dst = dst;
+    UdpHeader udp;
+    udp.src_port = src_port;
+    udp.dst_port = dst_port;
+    udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+
+    eth.serialize(w);
+    ip.serialize(w);
+    udp.serialize(w);
+    w.put_bytes(payload);
+    return w.take();
+}
+
+std::vector<std::byte> build_tcp_frame(HostAddr src, HostAddr dst, TcpHeader tcp,
+                                       std::span<const std::byte> payload) {
+    ByteWriter w;
+    EthernetHeader eth{.dst = dst, .src = src, .ethertype = kEtherTypeIpv4};
+    Ipv4Header ip;
+    ip.protocol = kIpProtoTcp;
+    ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + TcpHeader::kSize +
+                                                 payload.size());
+    ip.src = src;
+    ip.dst = dst;
+
+    eth.serialize(w);
+    ip.serialize(w);
+    tcp.serialize(w);
+    w.put_bytes(payload);
+    return w.take();
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::byte> frame) {
+    ByteReader r{frame};
+    ParsedFrame out;
+    out.eth = EthernetHeader::parse(r);
+    if (out.eth.ethertype != kEtherTypeIpv4) return std::nullopt;
+    out.ip = Ipv4Header::parse(r);
+    if (out.ip.protocol == kIpProtoUdp) {
+        out.udp = UdpHeader::parse(r);
+    } else if (out.ip.protocol == kIpProtoTcp) {
+        out.tcp = TcpHeader::parse(r);
+    }
+    out.payload_offset = r.position();
+    return out;
+}
+
+}  // namespace daiet::sim

@@ -1,0 +1,92 @@
+// End host: UDP socket table, TCP endpoint table, per-protocol counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netsim/headers.hpp"
+#include "netsim/node.hpp"
+#include "netsim/tcp.hpp"
+
+namespace daiet::sim {
+
+/// What a host has sent/received, by protocol. "Packets received at the
+/// reducers" in Figure 3 is read straight off these counters.
+struct HostCounters {
+    std::uint64_t frames_tx{0};
+    std::uint64_t frames_rx{0};
+    std::uint64_t bytes_tx{0};
+    std::uint64_t bytes_rx{0};
+    std::uint64_t udp_frames_tx{0};
+    std::uint64_t udp_frames_rx{0};
+    std::uint64_t udp_payload_bytes_rx{0};
+    std::uint64_t tcp_frames_tx{0};
+    std::uint64_t tcp_frames_rx{0};
+    std::uint64_t tcp_payload_bytes_rx{0};
+    std::uint64_t frames_rx_unclaimed{0};  ///< no socket/endpoint matched
+    SimTime last_rx_time{0};               ///< arrival time of the latest frame
+};
+
+/// Datagram delivery callback: (source address, source port, payload).
+using UdpHandler =
+    std::function<void(HostAddr, std::uint16_t, std::span<const std::byte>)>;
+
+class Host : public Node {
+public:
+    Host(Simulator& sim, NodeId id, std::string name, HostAddr addr)
+        : Node{sim, id, std::move(name)}, addr_{addr} {}
+
+    HostAddr addr() const noexcept { return addr_; }
+
+    // --- UDP --------------------------------------------------------------
+    /// Bind `handler` to a local UDP port. One handler per port.
+    void udp_bind(std::uint16_t port, UdpHandler handler);
+    void udp_unbind(std::uint16_t port);
+
+    /// Send one UDP datagram (one frame; no fragmentation — callers must
+    /// respect the MTU, which DAIET's packetizer does by construction).
+    void udp_send(HostAddr dst, std::uint16_t src_port, std::uint16_t dst_port,
+                  std::span<const std::byte> payload);
+
+    // --- TCP --------------------------------------------------------------
+    /// Start listening; `on_accept` fires once per inbound connection.
+    TcpListener& tcp_listen(std::uint16_t port,
+                            std::function<void(TcpConnection&)> on_accept);
+
+    /// Open a connection to dst:port. The returned reference stays valid
+    /// for the lifetime of the host.
+    TcpConnection& tcp_connect(HostAddr dst, std::uint16_t dst_port);
+
+    const HostCounters& counters() const noexcept { return counters_; }
+    void reset_counters() noexcept { counters_ = HostCounters{}; }
+
+    void handle_frame(std::vector<std::byte> frame, PortId in_port) override;
+
+    /// Hosts are single-homed: all egress uses port 0.
+    void send_frame(std::vector<std::byte> frame);
+
+private:
+    friend class TcpConnection;
+    friend class TcpListener;
+
+    struct TcpKey {
+        HostAddr peer;
+        std::uint16_t peer_port;
+        std::uint16_t local_port;
+        auto operator<=>(const TcpKey&) const = default;
+    };
+
+    HostAddr addr_;
+    HostCounters counters_;
+    std::map<std::uint16_t, UdpHandler> udp_sockets_;
+    std::map<std::uint16_t, std::unique_ptr<TcpListener>> tcp_listeners_;
+    std::map<TcpKey, std::unique_ptr<TcpConnection>> tcp_connections_;
+    std::uint16_t next_ephemeral_port_{49152};
+};
+
+}  // namespace daiet::sim

@@ -1,0 +1,61 @@
+#include "netsim/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "netsim/simulator.hpp"
+
+namespace daiet::sim {
+
+Link::Link(Simulator& sim, Node& a, Node& b, LinkParams params, std::uint64_t loss_seed)
+    : sim_{&sim}, a_{&a}, b_{&b}, params_{params}, loss_rng_{loss_seed} {
+    DAIET_EXPECTS(params.gbps > 0.0);
+    port_a_ = a.attach_link(this, 0);
+    port_b_ = b.attach_link(this, 1);
+}
+
+void Link::transmit(int from_side, std::vector<std::byte> frame) {
+    DAIET_EXPECTS(from_side == 0 || from_side == 1);
+    Direction& dir = dir_[from_side];
+    const std::size_t size = frame.size();
+
+    if (params_.queue_bytes != 0 && dir.backlog_bytes + size > params_.queue_bytes) {
+        ++dir.stats.frames_dropped_queue;
+        return;
+    }
+    if (params_.loss_probability > 0.0 && loss_rng_.next_bool(params_.loss_probability)) {
+        // Loss is injected at enqueue time: the frame occupies no queue
+        // space and never arrives (models corruption on the wire).
+        ++dir.stats.frames_dropped_loss;
+        return;
+    }
+
+    const SimTime now = sim_->now();
+    const SimTime start = std::max(now, dir.busy_until);
+    const SimTime ser = transmission_time_ns(size, params_.gbps);
+    const SimTime done = start + ser;
+    dir.busy_until = done;
+    dir.backlog_bytes += size;
+    ++dir.stats.frames_sent;
+    dir.stats.bytes_sent += size;
+
+    Node& dst = peer_of(from_side);
+    const PortId dst_port = peer_port(from_side);
+    const SimTime arrival = done + params_.propagation_delay;
+
+    sim_->schedule_at(arrival, [this, from_side, dst_port, &dst,
+                                f = std::move(frame)]() mutable {
+        Direction& d = dir_[from_side];
+        d.backlog_bytes -= f.size();
+        ++d.stats.frames_delivered;
+        dst.handle_frame(std::move(f), dst_port);
+    });
+}
+
+void Node::transmit(PortId p, std::vector<std::byte> frame) {
+    const PortBinding& binding = port(p);
+    DAIET_EXPECTS(binding.link != nullptr);
+    binding.link->transmit(binding.side, std::move(frame));
+}
+
+}  // namespace daiet::sim

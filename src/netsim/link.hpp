@@ -1,0 +1,69 @@
+// Full-duplex point-to-point link with bandwidth, propagation delay,
+// a drop-tail queue and optional random loss injection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netsim/node.hpp"
+#include "netsim/time.hpp"
+
+namespace daiet::sim {
+
+struct LinkParams {
+    double gbps{10.0};
+    SimTime propagation_delay{1 * kMicrosecond};
+    /// Drop-tail queue capacity in bytes per direction; 0 = unbounded.
+    std::size_t queue_bytes{0};
+    /// Independent per-frame loss probability (failure injection; the
+    /// paper's prototype does not handle loss, and neither does DAIET's
+    /// default configuration — see DESIGN.md §4).
+    double loss_probability{0.0};
+};
+
+struct LinkDirectionStats {
+    std::uint64_t frames_sent{0};
+    std::uint64_t bytes_sent{0};
+    std::uint64_t frames_delivered{0};
+    std::uint64_t frames_dropped_queue{0};
+    std::uint64_t frames_dropped_loss{0};
+};
+
+class Link {
+public:
+    Link(Simulator& sim, Node& a, Node& b, LinkParams params, std::uint64_t loss_seed = 0);
+
+    /// Enqueue `frame` for transmission away from side `from_side`
+    /// (0 = from a towards b, 1 = from b towards a).
+    void transmit(int from_side, std::vector<std::byte> frame);
+
+    const LinkParams& params() const noexcept { return params_; }
+    const LinkDirectionStats& stats(int from_side) const {
+        DAIET_EXPECTS(from_side == 0 || from_side == 1);
+        return dir_[from_side].stats;
+    }
+
+    Node& peer_of(int side) noexcept { return side == 0 ? *b_ : *a_; }
+    PortId peer_port(int side) const noexcept {
+        return side == 0 ? port_b_ : port_a_;
+    }
+
+private:
+    struct Direction {
+        SimTime busy_until{0};
+        std::size_t backlog_bytes{0};
+        LinkDirectionStats stats;
+    };
+
+    Simulator* sim_;
+    Node* a_;
+    Node* b_;
+    PortId port_a_;
+    PortId port_b_;
+    LinkParams params_;
+    Direction dir_[2];
+    Rng loss_rng_;
+};
+
+}  // namespace daiet::sim

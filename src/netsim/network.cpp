@@ -1,0 +1,178 @@
+#include "netsim/network.hpp"
+
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "common/contracts.hpp"
+
+namespace daiet::sim {
+
+Host& Network::add_host(std::string name) {
+    const auto id = static_cast<NodeId>(nodes_.size());
+    const auto addr = static_cast<HostAddr>(hosts_.size() + 1);
+    auto host = std::make_unique<Host>(sim_, id, std::move(name), addr);
+    auto& ref = *host;
+    nodes_.push_back(std::move(host));
+    hosts_.push_back(&ref);
+    return ref;
+}
+
+L2Switch& Network::add_l2_switch(std::string name) {
+    const auto id = static_cast<NodeId>(nodes_.size());
+    auto sw = std::make_unique<L2Switch>(sim_, id, std::move(name));
+    auto& ref = *sw;
+    nodes_.push_back(std::move(sw));
+    return ref;
+}
+
+PipelineSwitchNode& Network::add_pipeline_switch(std::string name,
+                                                 dp::SwitchConfig config) {
+    const auto id = static_cast<NodeId>(nodes_.size());
+    auto sw = std::make_unique<PipelineSwitchNode>(sim_, id, std::move(name), config);
+    auto& ref = *sw;
+    nodes_.push_back(std::move(sw));
+    return ref;
+}
+
+Link& Network::connect(Node& a, Node& b, LinkParams params) {
+    auto link = std::make_unique<Link>(sim_, a, b, params,
+                                       seed_ ^ (links_.size() * 0x9e3779b97f4a7c15ULL));
+    auto& ref = *link;
+    links_.push_back(std::move(link));
+    return ref;
+}
+
+Host* Network::host_by_addr(HostAddr addr) noexcept {
+    if (addr == 0 || addr > hosts_.size()) return nullptr;
+    return hosts_[addr - 1];
+}
+
+void Network::install_routes() {
+    // Adjacency: node id -> list of (port, neighbour id).
+    struct Edge {
+        PortId port;
+        NodeId peer;
+    };
+    std::vector<std::vector<Edge>> adjacency(nodes_.size());
+    for (const auto& link : links_) {
+        Node& a = link->peer_of(1);  // side 1's peer is a
+        Node& b = link->peer_of(0);
+        adjacency[a.id()].push_back({link->peer_port(1), b.id()});
+        adjacency[b.id()].push_back({link->peer_port(0), a.id()});
+    }
+
+    constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+    for (Host* dst : hosts_) {
+        // BFS from the destination over the undirected topology.
+        std::vector<std::uint32_t> dist(nodes_.size(), kInf);
+        std::deque<NodeId> queue;
+        dist[dst->id()] = 0;
+        queue.push_back(dst->id());
+        while (!queue.empty()) {
+            const NodeId u = queue.front();
+            queue.pop_front();
+            for (const Edge& e : adjacency[u]) {
+                if (dist[e.peer] == kInf) {
+                    dist[e.peer] = dist[u] + 1;
+                    queue.push_back(e.peer);
+                }
+            }
+        }
+        // Every switch forwards towards any neighbour one hop closer.
+        for (const auto& node : nodes_) {
+            if (dist[node->id()] == kInf || node->id() == dst->id()) continue;
+            std::vector<PortId> next_hops;
+            for (const Edge& e : adjacency[node->id()]) {
+                if (dist[e.peer] + 1 == dist[node->id()]) next_hops.push_back(e.port);
+            }
+            if (next_hops.empty()) continue;
+            if (auto* l2 = dynamic_cast<L2Switch*>(node.get())) {
+                l2->install_route(dst->addr(), std::move(next_hops));
+            } else if (auto* psw = dynamic_cast<PipelineSwitchNode*>(node.get())) {
+                psw->install_route(dst->addr(), std::move(next_hops));
+            }
+        }
+    }
+}
+
+StarTopology make_star_l2(Network& net, std::size_t n_hosts, LinkParams params) {
+    StarTopology topo;
+    topo.net = &net;
+    auto& tor = net.add_l2_switch("tor");
+    topo.tor = &tor;
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+        auto& h = net.add_host("host" + std::to_string(i));
+        net.connect(h, tor, params);
+        topo.hosts.push_back(&h);
+    }
+    return topo;
+}
+
+StarTopology make_star_pipeline(Network& net, std::size_t n_hosts,
+                                dp::SwitchConfig config, LinkParams params) {
+    StarTopology topo;
+    topo.net = &net;
+    config.num_ports = static_cast<std::uint16_t>(std::max<std::size_t>(n_hosts, 1));
+    auto& tor = net.add_pipeline_switch("tor", config);
+    topo.tor = &tor;
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+        auto& h = net.add_host("host" + std::to_string(i));
+        net.connect(h, tor, params);
+        topo.hosts.push_back(&h);
+    }
+    return topo;
+}
+
+namespace {
+
+template <typename AddLeaf>
+LeafSpineTopology make_leaf_spine_impl(Network& net, std::size_t n_leaf,
+                                       std::size_t n_spine, std::size_t hosts_per_leaf,
+                                       LinkParams params, AddLeaf&& add_switch) {
+    DAIET_EXPECTS(n_leaf > 0 && n_spine > 0 && hosts_per_leaf > 0);
+    LeafSpineTopology topo;
+    topo.net = &net;
+    for (std::size_t s = 0; s < n_spine; ++s) {
+        topo.spines.push_back(add_switch("spine" + std::to_string(s)));
+    }
+    for (std::size_t l = 0; l < n_leaf; ++l) {
+        Node* leaf = add_switch("leaf" + std::to_string(l));
+        topo.leaves.push_back(leaf);
+        for (std::size_t h = 0; h < hosts_per_leaf; ++h) {
+            auto& host =
+                net.add_host("host" + std::to_string(l) + "_" + std::to_string(h));
+            net.connect(host, *leaf, params);
+            topo.hosts.push_back(&host);
+        }
+        for (Node* spine : topo.spines) {
+            net.connect(*leaf, *spine, params);
+        }
+    }
+    return topo;
+}
+
+}  // namespace
+
+LeafSpineTopology make_leaf_spine_l2(Network& net, std::size_t n_leaf,
+                                     std::size_t n_spine, std::size_t hosts_per_leaf,
+                                     LinkParams params) {
+    return make_leaf_spine_impl(net, n_leaf, n_spine, hosts_per_leaf, params,
+                                [&](std::string name) -> Node* {
+                                    return &net.add_l2_switch(std::move(name));
+                                });
+}
+
+LeafSpineTopology make_leaf_spine_pipeline(Network& net, std::size_t n_leaf,
+                                           std::size_t n_spine,
+                                           std::size_t hosts_per_leaf,
+                                           const dp::SwitchConfig& config,
+                                           LinkParams params) {
+    return make_leaf_spine_impl(
+        net, n_leaf, n_spine, hosts_per_leaf, params,
+        [&](std::string name) -> Node* {
+            return &net.add_pipeline_switch(std::move(name), config);
+        });
+}
+
+}  // namespace daiet::sim

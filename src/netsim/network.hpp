@@ -1,0 +1,92 @@
+// Network: the container that owns the simulator, all nodes and links,
+// and computes shortest-path (ECMP-aware) routing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/pipeline_switch.hpp"
+#include "netsim/host.hpp"
+#include "netsim/link.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/switch_node.hpp"
+
+namespace daiet::sim {
+
+class Network {
+public:
+    explicit Network(std::uint64_t seed = 1) : seed_{seed} {}
+
+    // Nodes and links hold pointers into this object (the simulator and
+    // each other); it must never move.
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+    Network(Network&&) = delete;
+    Network& operator=(Network&&) = delete;
+
+    Simulator& simulator() noexcept { return sim_; }
+
+    Host& add_host(std::string name);
+    L2Switch& add_l2_switch(std::string name);
+    PipelineSwitchNode& add_pipeline_switch(std::string name, dp::SwitchConfig config);
+
+    Link& connect(Node& a, Node& b, LinkParams params = {});
+
+    /// Compute BFS shortest paths from every host and install ECMP
+    /// next-hop sets on every switch. Call after topology construction
+    /// (and after pipeline switches have their programs loaded, since
+    /// routes are pushed into program tables).
+    void install_routes();
+
+    Host* host_by_addr(HostAddr addr) noexcept;
+    const std::vector<Host*>& hosts() const noexcept { return hosts_; }
+    const std::vector<std::unique_ptr<Node>>& nodes() const noexcept { return nodes_; }
+    const std::vector<std::unique_ptr<Link>>& links() const noexcept { return links_; }
+
+    /// Run the simulation to quiescence.
+    SimTime run() { return sim_.run(); }
+
+private:
+    Simulator sim_;
+    std::uint64_t seed_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<Link>> links_;
+    std::vector<Host*> hosts_;  // addr -> host (addr = index + 1)
+};
+
+/// A star ("rack") topology: every host hangs off one switch — the
+/// physical shape of the paper's Figure 3 testbed.
+struct StarTopology {
+    Network* net{nullptr};
+    Node* tor{nullptr};  ///< L2Switch or PipelineSwitchNode
+    std::vector<Host*> hosts;
+};
+
+StarTopology make_star_l2(Network& net, std::size_t n_hosts, LinkParams params = {});
+StarTopology make_star_pipeline(Network& net, std::size_t n_hosts,
+                                dp::SwitchConfig config, LinkParams params = {});
+
+/// Two-tier leaf-spine fabric: `n_leaf` leaf switches each with
+/// `hosts_per_leaf` hosts, fully meshed to `n_spine` spine switches.
+/// Models the multi-level aggregation trees of the paper's Figure 2.
+struct LeafSpineTopology {
+    Network* net{nullptr};
+    std::vector<Node*> leaves;
+    std::vector<Node*> spines;
+    std::vector<Host*> hosts;  ///< grouped by leaf: hosts_per_leaf consecutive
+};
+
+LeafSpineTopology make_leaf_spine_l2(Network& net, std::size_t n_leaf,
+                                     std::size_t n_spine, std::size_t hosts_per_leaf,
+                                     LinkParams params = {});
+
+/// Pipeline-switch variant; `make_config` is invoked once per switch so
+/// each chip gets its own SRAM book.
+LeafSpineTopology make_leaf_spine_pipeline(Network& net, std::size_t n_leaf,
+                                           std::size_t n_spine,
+                                           std::size_t hosts_per_leaf,
+                                           const dp::SwitchConfig& config,
+                                           LinkParams params = {});
+
+}  // namespace daiet::sim

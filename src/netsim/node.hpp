@@ -1,0 +1,66 @@
+// Base class for simulated network elements (hosts and switches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "netsim/time.hpp"
+
+namespace daiet::sim {
+
+class Link;
+class Simulator;
+
+using NodeId = std::uint32_t;
+using PortId = std::uint16_t;
+
+class Node {
+public:
+    Node(Simulator& sim, NodeId id, std::string name)
+        : sim_{&sim}, id_{id}, name_{std::move(name)} {}
+
+    virtual ~Node() = default;
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    /// Deliver a frame arriving on `in_port`.
+    virtual void handle_frame(std::vector<std::byte> frame, PortId in_port) = 0;
+
+    NodeId id() const noexcept { return id_; }
+    const std::string& name() const noexcept { return name_; }
+    Simulator& simulator() noexcept { return *sim_; }
+
+    /// Wiring (called by Network::connect): attach `link` at the next
+    /// free port; returns the port number.
+    PortId attach_link(Link* link, int side) {
+        ports_.push_back({link, side});
+        return static_cast<PortId>(ports_.size() - 1);
+    }
+
+    std::size_t port_count() const noexcept { return ports_.size(); }
+
+    /// Transmit a frame out of `port`.
+    void transmit(PortId port, std::vector<std::byte> frame);
+
+protected:
+    struct PortBinding {
+        Link* link{nullptr};
+        int side{0};
+    };
+
+    const PortBinding& port(PortId p) const {
+        DAIET_EXPECTS(p < ports_.size());
+        return ports_[p];
+    }
+
+private:
+    Simulator* sim_;
+    NodeId id_;
+    std::string name_;
+    std::vector<PortBinding> ports_;
+};
+
+}  // namespace daiet::sim

@@ -1,0 +1,83 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop with a deterministic tie-break: events
+// scheduled for the same instant fire in scheduling order. Determinism
+// matters because every experiment in EXPERIMENTS.md must reproduce
+// bit-for-bit from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "netsim/time.hpp"
+
+namespace daiet::sim {
+
+class Simulator {
+public:
+    using Action = std::function<void()>;
+
+    /// Schedule `action` to run at absolute time `at` (>= now).
+    void schedule_at(SimTime at, Action action) {
+        DAIET_EXPECTS(at >= now_);
+        queue_.push(Event{at, next_seq_++, std::move(action)});
+    }
+
+    /// Schedule `action` to run `delay` after the current time.
+    void schedule_after(SimTime delay, Action action) {
+        schedule_at(now_ + delay, std::move(action));
+    }
+
+    SimTime now() const noexcept { return now_; }
+    bool idle() const noexcept { return queue_.empty(); }
+    std::uint64_t events_executed() const noexcept { return executed_; }
+
+    /// Run until no events remain. Returns the final simulated time.
+    SimTime run() {
+        while (!queue_.empty()) step();
+        return now_;
+    }
+
+    /// Run until the queue empties or simulated time would exceed
+    /// `deadline`; events after the deadline stay queued.
+    SimTime run_until(SimTime deadline) {
+        while (!queue_.empty() && queue_.top().at <= deadline) step();
+        now_ = std::max(now_, std::min(deadline, now_));
+        return now_;
+    }
+
+private:
+    struct Event {
+        SimTime at;
+        std::uint64_t seq;
+        Action action;
+    };
+
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    void step() {
+        // Move out of the queue before executing: the action may
+        // schedule new events and re-heapify the container.
+        Event ev = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        now_ = ev.at;
+        ++executed_;
+        ev.action();
+    }
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SimTime now_{0};
+    std::uint64_t next_seq_{0};
+    std::uint64_t executed_{0};
+};
+
+}  // namespace daiet::sim

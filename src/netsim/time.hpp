@@ -1,0 +1,21 @@
+// Simulated time: 64-bit nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace daiet::sim {
+
+using SimTime = std::uint64_t;  ///< nanoseconds
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Serialization delay of `bytes` at `gbps` gigabits per second.
+constexpr SimTime transmission_time_ns(std::uint64_t bytes, double gbps) noexcept {
+    // bytes * 8 bits / (gbps * 1e9 bits/s) seconds -> ns
+    return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+}  // namespace daiet::sim

@@ -1,0 +1,254 @@
+// Tests for the RMT-style dataplane model: SRAM accounting, registers,
+// match-action tables, the per-pass operation budget, the single-
+// application rule and recirculation.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "dataplane/match_table.hpp"
+#include "dataplane/pipeline.hpp"
+#include "dataplane/pipeline_switch.hpp"
+#include "dataplane/register_array.hpp"
+#include "dataplane/resources.hpp"
+
+namespace daiet::dp {
+namespace {
+
+// ---------------------------------------------------------------- SRAM
+
+TEST(SramBook, TracksReservations) {
+    SramBook book{1000};
+    book.reserve("a", 400);
+    book.reserve("b", 600);
+    EXPECT_EQ(book.used_bytes(), 1000U);
+}
+
+TEST(SramBook, ThrowsWhenBudgetExceeded) {
+    SramBook book{100};
+    book.reserve("a", 80);
+    EXPECT_THROW(book.reserve("b", 21), ResourceError);
+    EXPECT_EQ(book.used_bytes(), 80U);
+}
+
+TEST(SramBook, UnlimitedWhenZero) {
+    SramBook book{0};
+    book.reserve("huge", 1ULL << 40);
+    EXPECT_EQ(book.used_bytes(), 1ULL << 40);
+}
+
+TEST(SramBook, ReleaseReturnsCapacity) {
+    SramBook book{100};
+    book.reserve("a", 100);
+    book.release(50);
+    book.reserve("b", 50);
+    EXPECT_EQ(book.used_bytes(), 100U);
+}
+
+// ----------------------------------------------------------- registers
+
+TEST(RegisterArray, ReservesFootprintFromBook) {
+    SramBook book{0};
+    RegisterArray<std::uint32_t> reg{"r", 1024, book};
+    EXPECT_EQ(book.used_bytes(), 1024 * sizeof(std::uint32_t));
+    EXPECT_EQ(reg.footprint_bytes(), 4096U);
+}
+
+TEST(RegisterArray, ReleasesOnDestruction) {
+    SramBook book{0};
+    {
+        RegisterArray<std::uint64_t> reg{"r", 10, book};
+        EXPECT_EQ(book.used_bytes(), 80U);
+    }
+    EXPECT_EQ(book.used_bytes(), 0U);
+}
+
+TEST(RegisterArray, OversizedAllocationRejected) {
+    SramBook book{100};
+    EXPECT_THROW((RegisterArray<std::uint64_t>{"big", 1000, book}), ResourceError);
+}
+
+TEST(RegisterArray, ReadWriteThroughContextCountsOps) {
+    SramBook book{0};
+    RegisterArray<std::uint32_t> reg{"r", 8, book};
+    Packet p;
+    PacketContext ctx{p, 0};
+    reg.write(ctx, 3, 99);
+    EXPECT_EQ(reg.read(ctx, 3), 99U);
+    EXPECT_EQ(ctx.pass_ops().of(OpKind::kRegisterWrite), 1U);
+    EXPECT_EQ(ctx.pass_ops().of(OpKind::kRegisterRead), 1U);
+}
+
+TEST(RegisterArray, ControlPlanePokeBypassesOpCounting) {
+    SramBook book{0};
+    RegisterArray<std::uint32_t> reg{"r", 4, book};
+    reg.poke(2, 7);
+    EXPECT_EQ(reg.peek(2), 7U);
+    reg.fill(1);
+    EXPECT_EQ(reg.peek(0), 1U);
+    EXPECT_EQ(reg.peek(3), 1U);
+}
+
+// --------------------------------------------------------- match table
+
+TEST(ExactMatchTable, InstallAndApply) {
+    SramBook book{0};
+    ExactMatchTable<std::uint16_t, int> table{"t", 8, book};
+    table.install(5, 50);
+    Packet p;
+    PacketContext ctx{p, 0};
+    const int* hit = table.apply(ctx, 5);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, 50);
+}
+
+TEST(ExactMatchTable, MissReturnsNull) {
+    SramBook book{0};
+    ExactMatchTable<std::uint16_t, int> table{"t", 8, book};
+    Packet p;
+    PacketContext ctx{p, 0};
+    EXPECT_EQ(table.apply(ctx, 1), nullptr);
+}
+
+TEST(ExactMatchTable, CapacityEnforced) {
+    SramBook book{0};
+    ExactMatchTable<int, int> table{"t", 2, book};
+    table.install(1, 1);
+    table.install(2, 2);
+    EXPECT_THROW(table.install(3, 3), ResourceError);
+    table.install(2, 22);  // overwrite existing is fine
+    EXPECT_EQ(*table.peek(2), 22);
+}
+
+TEST(ExactMatchTable, DoubleApplicationThrows) {
+    // The paper (§5) calls this out: "a table can be applied at most
+    // once per packet".
+    SramBook book{0};
+    ExactMatchTable<int, int> table{"t", 8, book};
+    table.install(1, 1);
+    Packet p;
+    PacketContext ctx{p, 0};
+    table.apply(ctx, 1);
+    EXPECT_THROW(table.apply(ctx, 1), PipelineError);
+}
+
+TEST(ExactMatchTable, FreshPassAllowsReapplication) {
+    SramBook book{0};
+    ExactMatchTable<int, int> table{"t", 8, book};
+    table.install(1, 1);
+    Packet p;
+    PacketContext ctx{p, 0};
+    table.apply(ctx, 1);
+    ctx.begin_pass();
+    EXPECT_NO_THROW(table.apply(ctx, 1));
+}
+
+// ------------------------------------------------------------ pipeline
+
+/// Program that performs a configurable number of ALU ops per pass and
+/// recirculates a configurable number of times.
+class SyntheticProgram final : public PipelineProgram {
+public:
+    SyntheticProgram(std::uint32_t ops, std::uint16_t recircs)
+        : ops_{ops}, recircs_{recircs} {}
+
+    void on_packet(PacketContext& ctx) override {
+        for (std::uint32_t i = 0; i < ops_; ++i) ctx.count_op(OpKind::kAlu);
+        if (ctx.packet().meta().recirc_count < recircs_) {
+            ctx.recirculate();
+        } else {
+            ctx.set_egress(1);
+        }
+    }
+
+    std::string name() const override { return "synthetic"; }
+
+private:
+    std::uint32_t ops_;
+    std::uint16_t recircs_;
+};
+
+TEST(Pipeline, OpBudgetEnforced) {
+    PipelineConfig cfg;
+    cfg.ops_per_pass = 10;
+    Pipeline ok{cfg, std::make_shared<SyntheticProgram>(10, 0)};
+    EXPECT_NO_THROW(ok.process(Packet{}));
+
+    Pipeline over{cfg, std::make_shared<SyntheticProgram>(11, 0)};
+    EXPECT_THROW(over.process(Packet{}), PipelineError);
+}
+
+TEST(Pipeline, BudgetIsPerPassNotPerPacket) {
+    // 8 ops per pass, 3 passes = 24 total ops; must fit a 10-op budget
+    // because recirculation resets the per-pass counter.
+    PipelineConfig cfg;
+    cfg.ops_per_pass = 10;
+    Pipeline p{cfg, std::make_shared<SyntheticProgram>(8, 2)};
+    const auto out = p.process(Packet{});
+    ASSERT_EQ(out.size(), 1U);
+    EXPECT_EQ(p.stats().recirculations, 2U);
+    EXPECT_EQ(p.stats().ops.of(OpKind::kAlu), 24U);
+}
+
+TEST(Pipeline, RecirculationLimitEnforced) {
+    PipelineConfig cfg;
+    cfg.max_recirculations = 5;
+    Pipeline p{cfg, std::make_shared<SyntheticProgram>(1, 100)};
+    EXPECT_THROW(p.process(Packet{}), PipelineError);
+}
+
+TEST(Pipeline, DroppedPacketsProduceNoOutput) {
+    class Dropper final : public PipelineProgram {
+    public:
+        void on_packet(PacketContext& ctx) override { ctx.mark_drop(); }
+        std::string name() const override { return "drop"; }
+    };
+    Pipeline p{PipelineConfig{}, std::make_shared<Dropper>()};
+    EXPECT_TRUE(p.process(Packet{}).empty());
+    EXPECT_EQ(p.stats().packets_dropped, 1U);
+    EXPECT_EQ(p.stats().packets_out, 0U);
+}
+
+TEST(Pipeline, EmittedPacketsAreReturned) {
+    class Emitter final : public PipelineProgram {
+    public:
+        void on_packet(PacketContext& ctx) override {
+            Packet extra;
+            extra.meta().egress_port = 7;
+            ctx.emit(std::move(extra));
+            ctx.mark_drop();
+        }
+        std::string name() const override { return "emit"; }
+    };
+    Pipeline p{PipelineConfig{}, std::make_shared<Emitter>()};
+    const auto out = p.process(Packet{});
+    ASSERT_EQ(out.size(), 1U);
+    EXPECT_EQ(out[0].meta().egress_port, 7);
+}
+
+TEST(PipelineSwitch, RequiresProgramBeforeTraffic) {
+    PipelineSwitch sw{"s", SwitchConfig{}};
+    EXPECT_FALSE(sw.has_program());
+    sw.load_program(std::make_shared<SyntheticProgram>(1, 0));
+    EXPECT_TRUE(sw.has_program());
+    const auto out = sw.receive(Packet{}, 0);
+    ASSERT_EQ(out.size(), 1U);
+    EXPECT_EQ(out[0].meta().ingress_port, 0);
+}
+
+TEST(PipelineSwitch, SramSharedAcrossStructures) {
+    SwitchConfig cfg;
+    cfg.sram_bytes = 1000;
+    PipelineSwitch sw{"s", cfg};
+    RegisterArray<std::uint32_t> a{"a", 200, sw.sram()};  // 800 bytes
+    EXPECT_THROW((RegisterArray<std::uint32_t>{"b", 100, sw.sram()}), ResourceError);
+}
+
+TEST(PacketContext, HashChargesOpAndMatchesCrc32) {
+    Packet p;
+    PacketContext ctx{p, 0};
+    const auto h = ctx.hash(as_bytes("123456789"));
+    EXPECT_EQ(h, 0xCBF43926U);
+    EXPECT_EQ(ctx.pass_ops().of(OpKind::kHash), 1U);
+}
+
+}  // namespace
+}  // namespace daiet::dp

@@ -1,0 +1,276 @@
+// Tests for the graph substrate: CSR construction, RMAT generation,
+// the Pregel engine (validated against reference implementations) and
+// the Figure 1(c) traffic accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/generator.hpp"
+#include "graph/pregel.hpp"
+
+namespace daiet::graph {
+namespace {
+
+Graph diamond() {
+    // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+    return Graph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+// --------------------------------------------------------------- graph
+
+TEST(GraphBuild, CsrStructure) {
+    const Graph g = diamond();
+    EXPECT_EQ(g.num_vertices(), 4U);
+    EXPECT_EQ(g.num_edges(), 4U);
+    EXPECT_EQ(g.out_degree(0), 2U);
+    EXPECT_EQ(g.out_degree(3), 0U);
+    const auto n0 = g.out_neighbors(0);
+    EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+              (std::vector<VertexId>{1, 2}));
+}
+
+TEST(GraphBuild, DropsSelfLoopsAndDuplicates) {
+    const Graph g = Graph::from_edges(3, {{0, 1}, {0, 1}, {1, 1}, {1, 2}});
+    EXPECT_EQ(g.num_edges(), 2U);
+}
+
+TEST(GraphBuild, VerticesWithInEdges) {
+    EXPECT_EQ(diamond().vertices_with_in_edges(), 3U);  // 1, 2, 3
+}
+
+TEST(GraphBuild, SymmetrizeDoublesReachability) {
+    const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+    const Graph u = g.symmetrized();
+    EXPECT_EQ(u.num_edges(), 4U);
+    EXPECT_EQ(u.out_degree(2), 1U);
+}
+
+TEST(GraphBuild, UnitWeightsByDefault) {
+    const Graph g = diamond();
+    for (const auto w : g.out_weights(0)) EXPECT_EQ(w, 1U);
+}
+
+TEST(GraphBuild, WeightsInRangeAndDeterministic) {
+    const Graph a = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}, 16);
+    const Graph b = Graph::from_edges(4, {{2, 3}, {0, 1}, {1, 2}}, 16);
+    for (VertexId v = 0; v < 4; ++v) {
+        const auto wa = a.out_weights(v);
+        const auto wb = b.out_weights(v);
+        ASSERT_EQ(wa.size(), wb.size());
+        for (std::size_t i = 0; i < wa.size(); ++i) {
+            EXPECT_EQ(wa[i], wb[i]);  // weight depends on (src,dst) only
+            EXPECT_GE(wa[i], 1U);
+            EXPECT_LE(wa[i], 16U);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- RMAT
+
+TEST(Rmat, SizeAndDeterminism) {
+    RmatConfig rc;
+    rc.scale = 12;
+    rc.edge_factor = 8;
+    const Graph a = generate_rmat(rc);
+    const Graph b = generate_rmat(rc);
+    EXPECT_EQ(a.num_vertices(), 4096U);
+    EXPECT_GT(a.num_edges(), 20000U);  // some dedup expected
+    EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(Rmat, DegreeDistributionIsSkewed) {
+    RmatConfig rc;
+    rc.scale = 13;
+    const Graph g = generate_rmat(rc);
+    std::size_t max_deg = 0;
+    std::size_t isolated = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        max_deg = std::max(max_deg, g.out_degree(v));
+        if (g.out_degree(v) == 0) ++isolated;
+    }
+    const double mean =
+        static_cast<double>(g.num_edges()) / static_cast<double>(g.num_vertices());
+    EXPECT_GT(static_cast<double>(max_deg), mean * 20)
+        << "heavy tail expected";
+    EXPECT_GT(isolated, 0U) << "power-law graphs have isolated vertices";
+}
+
+TEST(Rmat, DifferentSeedsDiffer) {
+    RmatConfig a;
+    a.scale = 10;
+    RmatConfig b = a;
+    b.seed = 999;
+    EXPECT_NE(generate_rmat(a).num_edges(), generate_rmat(b).num_edges());
+}
+
+// -------------------------------------------------------------- Pregel
+
+TEST(Pregel, PageRankMatchesReference) {
+    RmatConfig rc;
+    rc.scale = 10;
+    const Graph g = generate_rmat(rc);
+    // n+1 supersteps apply n rank updates (superstep 0 only scatters).
+    PregelEngine<PageRankProgram> engine{g, 4, PageRankProgram{}};
+    engine.run(11);
+    const auto reference = reference_pagerank(g, 10);
+    const auto& values = engine.values();
+    for (std::size_t v = 0; v < g.num_vertices(); v += 37) {
+        EXPECT_NEAR(values[v], reference[v], 1e-9);
+    }
+}
+
+TEST(Pregel, SsspUnitWeightsMatchBfs) {
+    RmatConfig rc;
+    rc.scale = 10;
+    const Graph g = generate_rmat(rc);
+    VertexId source = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (g.out_degree(v) > g.out_degree(source)) source = v;
+    }
+    PregelEngine<SsspProgram> engine{g, 4, SsspProgram{source}};
+    engine.run(50);
+    const auto reference = reference_bfs_distances(g, source);
+    EXPECT_EQ(engine.values(), reference);
+}
+
+TEST(Pregel, SsspWeightedMatchesDijkstra) {
+    RmatConfig rc;
+    rc.scale = 10;
+    rc.max_weight = 32;
+    const Graph g = generate_rmat(rc);
+    VertexId source = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (g.out_degree(v) > g.out_degree(source)) source = v;
+    }
+    PregelEngine<SsspProgram> engine{g, 4, SsspProgram{source}};
+    engine.run(500);
+    EXPECT_EQ(engine.values(), reference_sssp(g, source));
+}
+
+TEST(Pregel, WccMatchesUnionFind) {
+    RmatConfig rc;
+    rc.scale = 10;
+    const Graph u = generate_rmat(rc).symmetrized();
+    PregelEngine<WccProgram> engine{u, 4, WccProgram{}};
+    engine.run(100);
+    EXPECT_EQ(engine.values(), reference_components(u));
+}
+
+TEST(Pregel, WorkerPartitionIsStable) {
+    const Graph g = diamond();
+    PregelEngine<WccProgram> a{g, 4, WccProgram{}};
+    PregelEngine<WccProgram> b{g, 4, WccProgram{}};
+    for (VertexId v = 0; v < 4; ++v) {
+        EXPECT_EQ(a.worker_of(v), b.worker_of(v));
+        EXPECT_LT(a.worker_of(v), 4U);
+    }
+}
+
+// ---------------------------------------------------- traffic accounting
+
+TEST(Traffic, DiamondPageRankCounts) {
+    const Graph g = diamond();
+    PregelEngine<PageRankProgram> engine{g, 1, PageRankProgram{}};
+    const auto stats = engine.step();
+    // 4 edges -> 4 messages; distinct destinations {1,2,3} -> 3.
+    EXPECT_EQ(stats.messages_sent, 4U);
+    EXPECT_EQ(stats.distinct_destinations, 3U);
+    EXPECT_NEAR(stats.traffic_reduction(), 1.0 - 3.0 / 4.0, 1e-12);
+}
+
+TEST(Traffic, CombinerPreservesSumSemantics) {
+    // Vertex 3 receives from 1 and 2; the combined inbox must be the
+    // sum, which PageRank then consumes in the next superstep.
+    const Graph g = diamond();
+    PregelEngine<PageRankProgram> engine{g, 1, PageRankProgram{}};
+    engine.step();
+    engine.step();
+    // Two supersteps apply exactly one rank update; check vertex 3
+    // (which combines two inbound messages) against the reference.
+    const auto reference = reference_pagerank(g, 1);
+    EXPECT_NEAR(engine.values()[3], reference[3], 1e-12);
+}
+
+TEST(Traffic, RemoteAccountingSubsetsTotal) {
+    RmatConfig rc;
+    rc.scale = 11;
+    const Graph g = generate_rmat(rc);
+    PregelEngine<PageRankProgram> engine{g, 4, PageRankProgram{}};
+    const auto stats = engine.step();
+    EXPECT_LE(stats.remote_messages, stats.messages_sent);
+    EXPECT_LE(stats.remote_distinct_destinations, stats.distinct_destinations);
+    // With 4 workers, ~3/4 of messages are remote on a hashed partition.
+    EXPECT_NEAR(static_cast<double>(stats.remote_messages) /
+                    static_cast<double>(stats.messages_sent),
+                0.75, 0.05);
+}
+
+TEST(Traffic, SingleWorkerHasNoRemoteTraffic) {
+    RmatConfig rc;
+    rc.scale = 9;
+    const Graph g = generate_rmat(rc);
+    PregelEngine<PageRankProgram> engine{g, 1, PageRankProgram{}};
+    const auto stats = engine.step();
+    EXPECT_EQ(stats.remote_messages, 0U);
+}
+
+// Figure 1(c) shape assertions on the default experiment graph.
+struct Fig1cShapes : public ::testing::Test {
+    static const Graph& graph() {
+        static const Graph g = [] {
+            RmatConfig rc;
+            rc.scale = 15;  // smaller than the bench default, same shape
+            rc.max_weight = 64;
+            return generate_rmat(rc);
+        }();
+        return g;
+    }
+};
+
+TEST_F(Fig1cShapes, PageRankIsFlatAndHigh) {
+    PregelEngine<PageRankProgram> engine{graph(), 4, PageRankProgram{}};
+    const auto hist = engine.run(10);
+    ASSERT_EQ(hist.size(), 10U);
+    for (const auto& s : hist) {
+        EXPECT_GT(s.traffic_reduction(), 0.85);
+        EXPECT_NEAR(s.traffic_reduction(), hist[0].traffic_reduction(), 0.01)
+            << "PageRank reduction must be constant across iterations";
+    }
+}
+
+TEST_F(Fig1cShapes, SsspRisesFromNearZero) {
+    VertexId source = 0;
+    for (VertexId v = 0; v < graph().num_vertices(); ++v) {
+        if (graph().out_degree(v) > graph().out_degree(source)) source = v;
+    }
+    PregelEngine<SsspProgram> engine{graph(), 4, SsspProgram{source}};
+    const auto hist = engine.run(10);
+    ASSERT_GE(hist.size(), 4U);
+    EXPECT_LT(hist[0].traffic_reduction(), 0.1);
+    EXPECT_GT(hist[2].traffic_reduction(), 0.8);
+}
+
+TEST_F(Fig1cShapes, WccStartsHighAndDecays) {
+    const Graph u = graph().symmetrized();
+    PregelEngine<WccProgram> engine{u, 4, WccProgram{}};
+    const auto hist = engine.run(10);
+    ASSERT_GE(hist.size(), 4U);
+    EXPECT_GT(hist[0].traffic_reduction(), 0.85);
+    const auto& last = hist[hist.size() - 1];
+    EXPECT_LT(last.traffic_reduction(), hist[0].traffic_reduction());
+}
+
+TEST(Quiescence, MessageDrivenProgramsTerminate) {
+    RmatConfig rc;
+    rc.scale = 9;
+    const Graph u = generate_rmat(rc).symmetrized();
+    PregelEngine<WccProgram> engine{u, 2, WccProgram{}};
+    const auto hist = engine.run(1000);
+    EXPECT_LT(hist.size(), 100U) << "WCC must converge, not run forever";
+    EXPECT_EQ(hist.back().messages_sent, 0U);
+}
+
+}  // namespace
+}  // namespace daiet::graph

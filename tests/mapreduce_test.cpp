@@ -1,0 +1,385 @@
+// Tests for the MapReduce substrate: corpus, fixed-size records,
+// WordCount map task, reduce implementations and the full job.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/hash.hpp"
+#include "core/aggregation.hpp"
+#include "mapreduce/corpus.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/record.hpp"
+#include "mapreduce/reduce.hpp"
+#include "mapreduce/wordcount.hpp"
+
+namespace daiet::mr {
+namespace {
+
+CorpusConfig small_corpus() {
+    CorpusConfig cc;
+    cc.vocabulary_size = 500;
+    cc.total_words = 5000;
+    cc.num_mappers = 4;
+    cc.num_reducers = 3;
+    cc.register_size = 1024;
+    return cc;
+}
+
+// -------------------------------------------------------------- corpus
+
+TEST(Corpus, VocabularyHasRequestedShape) {
+    const Corpus corpus{small_corpus()};
+    EXPECT_EQ(corpus.vocabulary().size(), 500U);
+    for (const auto& w : corpus.vocabulary()) {
+        EXPECT_GE(w.size(), 4U);
+        EXPECT_LE(w.size(), 16U);
+        for (const char c : w) {
+            EXPECT_GE(c, 'a');
+            EXPECT_LE(c, 'z');
+        }
+    }
+}
+
+TEST(Corpus, CollisionFreePerPartition) {
+    // Footnote 5: no two words of the same reducer partition may share
+    // a switch register cell.
+    const auto cc = small_corpus();
+    const Corpus corpus{cc};
+    std::vector<std::set<std::size_t>> cells(cc.num_reducers);
+    for (const auto& w : corpus.vocabulary()) {
+        const auto part = corpus.partition_of(w);
+        const auto cell = register_index_from_crc(Crc32::compute(Key16{w}.bytes()),
+                                                  cc.register_size);
+        EXPECT_TRUE(cells[part].insert(cell).second)
+            << "collision for word " << w;
+    }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+    const Corpus a{small_corpus()};
+    const Corpus b{small_corpus()};
+    EXPECT_EQ(a.vocabulary(), b.vocabulary());
+    EXPECT_EQ(a.split_text(0), b.split_text(0));
+}
+
+TEST(Corpus, SplitsPartitionTheStream) {
+    const auto cc = small_corpus();
+    const Corpus corpus{cc};
+    std::size_t words = 0;
+    for (std::size_t m = 0; m < cc.num_mappers; ++m) {
+        const auto text = corpus.split_text(m);
+        words += static_cast<std::size_t>(
+                     std::count(text.begin(), text.end(), ' ')) + 1;
+    }
+    EXPECT_EQ(words, cc.total_words);
+}
+
+TEST(Corpus, ReferenceCountsSumToTotal) {
+    const auto cc = small_corpus();
+    const Corpus corpus{cc};
+    std::int64_t total = 0;
+    for (const auto& [word, count] : corpus.reference_counts()) total += count;
+    EXPECT_EQ(total, static_cast<std::int64_t>(cc.total_words));
+}
+
+TEST(Corpus, ImpossibleCollisionFreeConfigThrows) {
+    CorpusConfig cc = small_corpus();
+    cc.vocabulary_size = 100;
+    cc.register_size = 8;  // 3 partitions x 8 cells < 100 words
+    EXPECT_THROW(Corpus{cc}, std::runtime_error);
+}
+
+TEST(Corpus, ZipfSkewsFrequencies) {
+    CorpusConfig cc = small_corpus();
+    cc.zipf_exponent = 1.1;
+    const Corpus corpus{cc};
+    const auto counts = corpus.reference_counts();
+    std::int64_t max_count = 0;
+    for (const auto& [w, c] : counts) max_count = std::max(max_count, c);
+    const double mean =
+        static_cast<double>(cc.total_words) / static_cast<double>(counts.size());
+    EXPECT_GT(static_cast<double>(max_count), mean * 10);
+}
+
+// ------------------------------------------------------------- records
+
+TEST(IntermediateFile, AppendAndReadBack) {
+    IntermediateFile file;
+    file.append(KvPair{Key16{"word"}, wire_from_i32(3)});
+    file.append(KvPair{Key16{"x"}, wire_from_i32(-1)});
+    EXPECT_EQ(file.record_count(), 2U);
+    EXPECT_EQ(file.size_bytes(), 40U);
+    EXPECT_EQ(file.record(0).key.to_string(), "word");
+    EXPECT_EQ(i32_from_wire(file.record(1).value), -1);
+}
+
+TEST(IntermediateFile, SliceIsOffsetArithmetic) {
+    IntermediateFile file;
+    for (int i = 0; i < 10; ++i) {
+        file.append(KvPair{Key16{"k" + std::to_string(i)}, wire_from_i32(i)});
+    }
+    const auto slice = file.slice(3, 2);
+    EXPECT_EQ(slice.size(), 2 * IntermediateFile::kRecordSize);
+    const auto parsed = parse_record_stream(slice);
+    ASSERT_EQ(parsed.size(), 2U);
+    EXPECT_EQ(parsed[0].key.to_string(), "k3");
+    EXPECT_EQ(parsed[1].key.to_string(), "k4");
+}
+
+TEST(IntermediateFile, RecordLayoutMatchesWireFormat) {
+    // A file slice must be directly embeddable in a DATA packet.
+    IntermediateFile file;
+    const KvPair p{Key16{"abc"}, wire_from_i32(0x01020304)};
+    file.append(p);
+    const auto from_wire = serialize_data(1, std::vector{p});
+    const auto body = std::span{from_wire}.subspan(kPreambleSize);
+    EXPECT_TRUE(std::equal(body.begin(), body.end(), file.bytes().begin()));
+}
+
+// ------------------------------------------------------------ map task
+
+TEST(WordCountMap, CountsEveryToken) {
+    const Corpus corpus{small_corpus()};
+    const auto out = run_wordcount_map("alpha beta alpha", corpus, 3);
+    EXPECT_EQ(out.words_processed, 3U);
+    std::size_t records = 0;
+    for (const auto& f : out.partitions) records += f.record_count();
+    EXPECT_EQ(records, 3U);
+}
+
+TEST(WordCountMap, PartitionsByHash) {
+    const Corpus corpus{small_corpus()};
+    const auto out = run_wordcount_map(corpus.split_text(0), corpus, 3);
+    for (std::size_t part = 0; part < 3; ++part) {
+        for (std::size_t i = 0; i < out.partitions[part].record_count(); ++i) {
+            const auto word = out.partitions[part].record(i).key.to_string();
+            EXPECT_EQ(corpus.partition_of(word), part);
+        }
+    }
+}
+
+TEST(WordCountMap, CombinerPreAggregates) {
+    const Corpus corpus{small_corpus()};
+    const std::string text = "dog cat dog dog cat bird";
+    const auto plain = run_wordcount_map(text, corpus, 3, false);
+    const auto combined = run_wordcount_map(text, corpus, 3, true);
+
+    const auto total_records = [](const MapOutput& out) {
+        std::size_t n = 0;
+        for (const auto& f : out.partitions) n += f.record_count();
+        return n;
+    };
+    EXPECT_EQ(total_records(plain), 6U);
+    EXPECT_EQ(total_records(combined), 3U);
+
+    // Same totals either way.
+    const auto totals = [](const MapOutput& out) {
+        std::map<std::string, std::int64_t> t;
+        for (const auto& f : out.partitions) {
+            for (std::size_t i = 0; i < f.record_count(); ++i) {
+                const auto rec = f.record(i);
+                t[rec.key.to_string()] += i32_from_wire(rec.value);
+            }
+        }
+        return t;
+    };
+    EXPECT_EQ(totals(plain), totals(combined));
+    EXPECT_EQ(totals(plain),
+              (std::map<std::string, std::int64_t>{{"dog", 3}, {"cat", 2}, {"bird", 1}}));
+}
+
+// -------------------------------------------------------------- reduce
+
+TEST(Reduce, SortScanCombineGroupsKeys) {
+    std::vector<KvPair> pairs{
+        {Key16{"b"}, wire_from_i32(1)},
+        {Key16{"a"}, wire_from_i32(2)},
+        {Key16{"b"}, wire_from_i32(3)},
+        {Key16{"a"}, wire_from_i32(4)},
+    };
+    const auto out = sort_scan_combine(pairs, AggFnId::kSumI32);
+    ASSERT_EQ(out.size(), 2U);
+    EXPECT_EQ(out[0].key.to_string(), "a");
+    EXPECT_EQ(i32_from_wire(out[0].value), 6);
+    EXPECT_EQ(out[1].key.to_string(), "b");
+    EXPECT_EQ(i32_from_wire(out[1].value), 4);
+}
+
+TEST(Reduce, AllImplementationsAgree) {
+    // Property: hash-based, sort-based and merge-based reducers compute
+    // the same result on a random workload.
+    Rng rng{7};
+    std::vector<KvPair> all;
+    std::vector<std::vector<KvPair>> runs(4);
+    for (int i = 0; i < 2000; ++i) {
+        KvPair p{Key16{"w" + std::to_string(rng.next_below(100))},
+                 wire_from_i32(static_cast<std::int32_t>(rng.next_int(1, 5)))};
+        all.push_back(p);
+        runs[rng.next_below(4)].push_back(p);
+    }
+    for (auto& run : runs) {
+        std::sort(run.begin(), run.end(),
+                  [](const KvPair& a, const KvPair& b) { return a.key < b.key; });
+    }
+    const auto hash_based = reduce_pairs(all, AggFnId::kSumI32);
+    const auto sort_based = sort_scan_combine(all, AggFnId::kSumI32);
+    const auto merge_based = merge_sorted_runs(runs, AggFnId::kSumI32);
+    EXPECT_EQ(hash_based, sort_based);
+    EXPECT_EQ(hash_based, merge_based);
+}
+
+TEST(Reduce, StreamVariantsAgree) {
+    Rng rng{8};
+    std::vector<std::vector<std::byte>> streams;
+    std::vector<KvPair> all;
+    for (int s = 0; s < 3; ++s) {
+        IntermediateFile f;
+        std::vector<KvPair> run;
+        for (int i = 0; i < 500; ++i) {
+            run.push_back(KvPair{Key16{"k" + std::to_string(rng.next_below(60))},
+                                 wire_from_i32(1)});
+        }
+        std::sort(run.begin(), run.end(),
+                  [](const KvPair& a, const KvPair& b) { return a.key < b.key; });
+        for (const auto& p : run) {
+            f.append(p);
+            all.push_back(p);
+        }
+        streams.emplace_back(f.bytes().begin(), f.bytes().end());
+    }
+    EXPECT_EQ(reduce_streams(streams, AggFnId::kSumI32),
+              sort_scan_combine(all, AggFnId::kSumI32));
+    EXPECT_EQ(reduce_sorted_streams(streams, AggFnId::kSumI32),
+              sort_scan_combine(all, AggFnId::kSumI32));
+}
+
+TEST(Reduce, DaietPayloadVariantAgrees) {
+    Rng rng{9};
+    std::vector<KvPair> all;
+    std::vector<std::vector<std::byte>> payloads;
+    for (int n = 0; n < 50; ++n) {
+        std::vector<KvPair> packet;
+        const auto count = 1 + rng.next_below(10);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            packet.push_back(KvPair{Key16{"k" + std::to_string(rng.next_below(40))},
+                                    wire_from_i32(2)});
+        }
+        all.insert(all.end(), packet.begin(), packet.end());
+        payloads.push_back(serialize_data(1, packet));
+    }
+    EXPECT_EQ(reduce_daiet_payloads(payloads, AggFnId::kSumI32),
+              sort_scan_combine(all, AggFnId::kSumI32));
+}
+
+TEST(Reduce, TimeSecondsMeasuresWork) {
+    const double secs = time_seconds([] {
+        volatile double x = 0;
+        for (int i = 0; i < 100000; ++i) x = x + 1.0;
+    });
+    EXPECT_GT(secs, 0.0);
+    EXPECT_LT(secs, 1.0);
+}
+
+// ----------------------------------------------------------- full jobs
+
+struct JobModeTest : public ::testing::TestWithParam<ShuffleMode> {};
+
+TEST_P(JobModeTest, ProducesCorrectOutputAndSaneMetrics) {
+    CorpusConfig cc = small_corpus();
+    const Corpus corpus{cc};
+    JobOptions opts;
+    opts.mode = GetParam();
+    opts.daiet.register_size = 1024;
+    opts.daiet.max_trees = 3;
+    const auto result = run_wordcount_job(corpus, opts);
+
+    // The job itself validates per-reducer output against a local
+    // reference; validate the merged output against the corpus too.
+    const auto expected = corpus.reference_counts();
+    ASSERT_EQ(result.output.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(result.output[i].first, expected[i].first);
+        EXPECT_EQ(result.output[i].second, expected[i].second);
+    }
+    EXPECT_EQ(result.reducers.size(), cc.num_reducers);
+    EXPECT_EQ(result.total_pairs_shuffled, cc.total_words);
+    for (const auto& r : result.reducers) {
+        EXPECT_GT(r.frames_received, 0U);
+        EXPECT_GT(r.payload_bytes_received, 0U);
+        EXPECT_GT(r.reduce_seconds, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, JobModeTest,
+                         ::testing::Values(ShuffleMode::kTcpBaseline,
+                                           ShuffleMode::kUdpNoAgg,
+                                           ShuffleMode::kDaiet),
+                         [](const auto& info) {
+                             std::string name{to_string(info.param)};
+                             std::replace(name.begin(), name.end(), '-', '_');
+                             return name;
+                         });
+
+TEST(Job, DaietReducesDataVolume) {
+    CorpusConfig cc = small_corpus();
+    cc.total_words = 10000;  // multiplicity 20 -> deep aggregation
+    const Corpus corpus{cc};
+    JobOptions base;
+    base.mode = ShuffleMode::kUdpNoAgg;
+    base.daiet.register_size = 1024;
+    base.daiet.max_trees = 3;
+    JobOptions daiet = base;
+    daiet.mode = ShuffleMode::kDaiet;
+
+    const auto r_base = run_wordcount_job(corpus, base);
+    const auto r_daiet = run_wordcount_job(corpus, daiet);
+    EXPECT_LT(r_daiet.total_payload_bytes_at_reducers(),
+              r_base.total_payload_bytes_at_reducers() / 4);
+    EXPECT_LT(r_daiet.total_frames_at_reducers(),
+              r_base.total_frames_at_reducers() / 4);
+}
+
+TEST(Job, WorkerCombinerShrinksShuffleButNotOutput) {
+    CorpusConfig cc = small_corpus();
+    cc.total_words = 10000;
+    const Corpus corpus{cc};
+    JobOptions plain;
+    plain.mode = ShuffleMode::kUdpNoAgg;
+    plain.daiet.max_trees = 3;
+    JobOptions combined = plain;
+    combined.worker_combiner = true;
+
+    const auto r_plain = run_wordcount_job(corpus, plain);
+    const auto r_comb = run_wordcount_job(corpus, combined);
+    EXPECT_LT(r_comb.total_pairs_shuffled, r_plain.total_pairs_shuffled);
+    EXPECT_EQ(r_comb.output, r_plain.output);
+}
+
+TEST(Job, LeafSpineDaietAggregatesAtEveryLevel) {
+    CorpusConfig cc = small_corpus();
+    const Corpus corpus{cc};
+    JobOptions opts;
+    opts.mode = ShuffleMode::kDaiet;
+    opts.daiet.register_size = 1024;
+    opts.daiet.max_trees = 3;
+    opts.leaf_spine = true;
+    opts.n_leaf = 2;
+    opts.n_spine = 2;
+    const auto result = run_wordcount_job(corpus, opts);
+    const auto expected = corpus.reference_counts();
+    ASSERT_EQ(result.output.size(), expected.size());
+    EXPECT_EQ(result.output.front().first, expected.front().first);
+}
+
+TEST(Job, TcpBaselineMergeReducerVariant) {
+    CorpusConfig cc = small_corpus();
+    const Corpus corpus{cc};
+    JobOptions opts;
+    opts.mode = ShuffleMode::kTcpBaseline;
+    opts.baseline_merge_reducer = true;
+    const auto result = run_wordcount_job(corpus, opts);
+    EXPECT_EQ(result.output.size(), corpus.reference_counts().size());
+}
+
+}  // namespace
+}  // namespace daiet::mr

@@ -1,0 +1,279 @@
+// Tests for the ML substrate: synthetic MNIST, softmax model (with a
+// numeric gradient check), optimizers, overlap metric and training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ml/mnist.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+#include "ml/training.hpp"
+
+namespace daiet::ml {
+namespace {
+
+// --------------------------------------------------------------- MNIST
+
+TEST(SyntheticMnist, RatesFollowRadialBands) {
+    const SyntheticMnist data{MnistConfig{}};
+    const auto& cfg = data.config();
+    // Centre pixel: hot; corner pixel: rare.
+    const std::size_t centre = 14 * kImageSide + 14;
+    const std::size_t corner = 0;
+    EXPECT_DOUBLE_EQ(data.activation_rate(centre), cfg.hot_rate);
+    EXPECT_GE(data.activation_rate(corner), cfg.rare_lo * 0.99);
+    EXPECT_LE(data.activation_rate(corner), cfg.rare_hi * 1.01);
+}
+
+TEST(SyntheticMnist, SamplesAreSparseAndSorted) {
+    const SyntheticMnist data{MnistConfig{}};
+    Rng rng{1};
+    for (int i = 0; i < 20; ++i) {
+        const auto s = data.sample(rng);
+        EXPECT_LT(s.active_pixels.size(), kImagePixels / 4);
+        EXPECT_TRUE(std::is_sorted(s.active_pixels.begin(), s.active_pixels.end()));
+        EXPECT_EQ(s.active_pixels.size(), s.values.size());
+        for (const float v : s.values) {
+            EXPECT_GT(v, 0.0F);
+            EXPECT_LE(v, 1.0F);
+        }
+    }
+}
+
+TEST(SyntheticMnist, EmpiricalRateMatchesConfigured) {
+    const SyntheticMnist data{MnistConfig{}};
+    Rng rng{2};
+    const std::size_t centre = 14 * kImageSide + 14;
+    int active = 0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i) {
+        const auto s = data.sample(rng);
+        if (std::binary_search(s.active_pixels.begin(), s.active_pixels.end(),
+                               static_cast<std::uint16_t>(centre))) {
+            ++active;
+        }
+    }
+    EXPECT_NEAR(active / static_cast<double>(n), data.config().hot_rate, 0.05);
+}
+
+TEST(SyntheticMnist, LabelsCoverAllClasses) {
+    const SyntheticMnist data{MnistConfig{}};
+    Rng rng{3};
+    std::set<int> labels;
+    for (int i = 0; i < 200; ++i) labels.insert(data.sample(rng).label);
+    EXPECT_EQ(labels.size(), kNumClasses);
+}
+
+// --------------------------------------------------------------- model
+
+TEST(SoftmaxModel, PredictionsAreDistribution) {
+    SoftmaxModel model;
+    const SyntheticMnist data{MnistConfig{}};
+    Rng rng{4};
+    const auto s = data.sample(rng);
+    const auto probs = model.predict(s);
+    double sum = 0;
+    for (const float p : probs) {
+        EXPECT_GE(p, 0.0F);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(SoftmaxModel, InitialLossIsLogClasses) {
+    SoftmaxModel model;
+    const SyntheticMnist data{MnistConfig{}};
+    Rng rng{5};
+    std::vector<Sample> batch;
+    for (int i = 0; i < 50; ++i) batch.push_back(data.sample(rng));
+    EXPECT_NEAR(model.loss(batch), std::log(10.0), 1e-6);
+}
+
+TEST(SoftmaxModel, GradientSupportIsActiveColumnsPlusBias) {
+    SoftmaxModel model;
+    const SyntheticMnist data{MnistConfig{}};
+    Rng rng{6};
+    std::vector<Sample> batch{data.sample(rng), data.sample(rng)};
+    const auto grad = model.gradient(batch);
+
+    std::set<std::uint16_t> active;
+    for (const auto& s : batch) {
+        active.insert(s.active_pixels.begin(), s.active_pixels.end());
+    }
+    EXPECT_EQ(grad.size(), active.size() * kNumClasses + kNumClasses);
+    EXPECT_TRUE(std::is_sorted(grad.indices.begin(), grad.indices.end()));
+}
+
+TEST(SoftmaxModel, GradientMatchesNumericDifferentiation) {
+    SoftmaxModel model;
+    // Give the model nonzero parameters so the gradient is not at a
+    // symmetric point.
+    Rng prng{7};
+    for (auto& p : model.parameters()) {
+        p = static_cast<float>(0.05 * prng.next_gaussian());
+    }
+    const SyntheticMnist data{MnistConfig{}};
+    Rng rng{8};
+    std::vector<Sample> batch{data.sample(rng), data.sample(rng), data.sample(rng)};
+    const auto grad = model.gradient(batch);
+
+    // Check a sample of coordinates against central differences.
+    const float eps = 1e-3F;
+    for (std::size_t probe = 0; probe < grad.size(); probe += grad.size() / 17 + 1) {
+        const auto idx = grad.indices[probe];
+        const float saved = model.parameters()[idx];
+        model.parameters()[idx] = saved + eps;
+        const double up = model.loss(batch);
+        model.parameters()[idx] = saved - eps;
+        const double down = model.loss(batch);
+        model.parameters()[idx] = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(grad.values[probe], numeric, 5e-3)
+            << "at flat index " << idx;
+    }
+}
+
+// ---------------------------------------------------------- optimizers
+
+TEST(Optimizers, SgdAppliesScaledNegativeGradient) {
+    std::vector<float> params(10, 1.0F);
+    SgdOptimizer sgd{0.5F};
+    SparseGradient g;
+    g.indices = {2, 7};
+    g.values = {1.0F, -2.0F};
+    sgd.apply(params, g);
+    EXPECT_FLOAT_EQ(params[2], 0.5F);
+    EXPECT_FLOAT_EQ(params[7], 2.0F);
+    EXPECT_FLOAT_EQ(params[0], 1.0F);
+}
+
+TEST(Optimizers, AdamFirstStepIsLearningRateSized) {
+    // With bias correction, the first Adam step is ~lr * sign(g).
+    std::vector<float> params(4, 0.0F);
+    AdamOptimizer adam{4, 0.1F};
+    SparseGradient g;
+    g.indices = {1};
+    g.values = {0.5F};
+    adam.apply(params, g);
+    EXPECT_NEAR(params[1], -0.1, 1e-4);
+    EXPECT_EQ(adam.steps(), 1U);
+}
+
+TEST(Optimizers, AdamAdaptsToGradientScale) {
+    // Two coordinates with very different gradient magnitudes must
+    // receive nearly equal step sizes (per-coordinate normalization).
+    std::vector<float> params(2, 0.0F);
+    AdamOptimizer adam{2, 0.01F};
+    for (int i = 0; i < 50; ++i) {
+        SparseGradient g;
+        g.indices = {0, 1};
+        g.values = {100.0F, 0.01F};
+        adam.apply(params, g);
+    }
+    EXPECT_NEAR(params[0] / params[1], 1.0, 0.05);
+}
+
+// ------------------------------------------------------------- overlap
+
+TEST(Overlap, DisjointSetsHaveZeroOverlap) {
+    EXPECT_DOUBLE_EQ(update_overlap({{0, 1}, {2, 3}}, 10), 0.0);
+}
+
+TEST(Overlap, IdenticalSetsHaveFullOverlap) {
+    EXPECT_DOUBLE_EQ(update_overlap({{0, 1, 2}, {0, 1, 2}}, 10), 1.0);
+}
+
+TEST(Overlap, PartialOverlapCounts) {
+    // union = {0,1,2,3}, updated by >=2 = {1,2} -> 0.5.
+    EXPECT_DOUBLE_EQ(update_overlap({{0, 1, 2}, {1, 2, 3}}, 10), 0.5);
+}
+
+TEST(Overlap, SingleWorkerIsZero) {
+    EXPECT_DOUBLE_EQ(update_overlap({{1, 2, 3}}, 10), 0.0);
+}
+
+TEST(Overlap, EmptyIsZero) {
+    EXPECT_DOUBLE_EQ(update_overlap({}, 10), 0.0);
+}
+
+// ------------------------------------------------------------ training
+
+TEST(Training, LossDecreasesAndModelLearns) {
+    TrainingConfig cfg;
+    cfg.steps = 150;
+    cfg.batch_size = 20;
+    cfg.optimizer = OptimizerKind::kSgd;
+    const auto result = train_parameter_server(cfg);
+    EXPECT_LT(result.final_loss, result.initial_loss * 0.9);
+    EXPECT_GT(result.final_accuracy, 0.3);  // 10% is chance level
+    EXPECT_EQ(result.steps.size(), 150U);
+}
+
+TEST(Training, OverlapInPaperBandForSgd) {
+    TrainingConfig cfg;
+    cfg.optimizer = OptimizerKind::kSgd;
+    cfg.batch_size = 3;
+    cfg.steps = 120;
+    const auto result = train_parameter_server(cfg);
+    // Figure 1(a): overlap fluctuates roughly within 34-50%.
+    EXPECT_GT(result.mean_overlap, 0.34);
+    EXPECT_LT(result.mean_overlap, 0.50);
+}
+
+TEST(Training, OverlapInPaperBandForAdam) {
+    TrainingConfig cfg;
+    cfg.optimizer = OptimizerKind::kAdam;
+    cfg.batch_size = 100;
+    cfg.steps = 60;
+    const auto result = train_parameter_server(cfg);
+    // Figure 1(b): overlap roughly within 62-72%.
+    EXPECT_GT(result.mean_overlap, 0.60);
+    EXPECT_LT(result.mean_overlap, 0.74);
+}
+
+TEST(Training, OverlapGrowsWithBatchSize) {
+    TrainingConfig small;
+    small.batch_size = 3;
+    small.steps = 40;
+    TrainingConfig large = small;
+    large.batch_size = 50;
+    EXPECT_LT(train_parameter_server(small).mean_overlap,
+              train_parameter_server(large).mean_overlap);
+}
+
+TEST(Training, OverlapGrowsWithWorkerCount) {
+    // §3 in-text: "increasing the number of workers from two to five
+    // ... the overlap increases".
+    TrainingConfig two;
+    two.num_workers = 2;
+    two.steps = 60;
+    TrainingConfig five = two;
+    five.num_workers = 5;
+    EXPECT_LT(train_parameter_server(two).mean_overlap,
+              train_parameter_server(five).mean_overlap);
+}
+
+TEST(Training, TrafficReductionExceedsOverlapShare) {
+    // With 5 workers, every overlapping element saves at least one
+    // message, so reduction >= overlap/5 (loose sanity bound) and the
+    // reduction must be substantial for batch 100.
+    TrainingConfig cfg;
+    cfg.optimizer = OptimizerKind::kAdam;
+    cfg.batch_size = 100;
+    cfg.steps = 30;
+    const auto result = train_parameter_server(cfg);
+    EXPECT_GT(result.mean_traffic_reduction, 0.4);
+}
+
+TEST(Training, DeterministicForSeed) {
+    TrainingConfig cfg;
+    cfg.steps = 20;
+    const auto a = train_parameter_server(cfg);
+    const auto b = train_parameter_server(cfg);
+    EXPECT_EQ(a.mean_overlap, b.mean_overlap);
+    EXPECT_EQ(a.final_loss, b.final_loss);
+}
+
+}  // namespace
+}  // namespace daiet::ml

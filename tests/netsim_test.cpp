@@ -1,0 +1,331 @@
+// Tests for the discrete-event network simulator: event ordering,
+// links (timing, queueing, loss), wire formats, hosts/UDP, L2
+// switching, route installation and ECMP.
+#include <gtest/gtest.h>
+
+#include "netsim/headers.hpp"
+#include "netsim/network.hpp"
+#include "netsim/simulator.hpp"
+
+namespace daiet::sim {
+namespace {
+
+// ----------------------------------------------------------- simulator
+
+TEST(Simulator, ExecutesInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(30, [&] { order.push_back(3); });
+    sim.schedule_at(10, [&] { order.push_back(1); });
+    sim.schedule_at(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule_at(5, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_at(10, [&] {
+        sim.schedule_after(5, [&] { ++fired; });
+    });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 15U);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_at(10, [&] { ++fired; });
+    sim.schedule_at(100, [&] { ++fired; });
+    sim.run_until(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(sim.idle());
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingInPastIsFatal) {
+    Simulator sim;
+    sim.schedule_at(10, [&] {
+        EXPECT_DEATH(sim.schedule_at(5, [] {}), "precondition");
+    });
+    sim.run();
+}
+
+// ------------------------------------------------------------- headers
+
+TEST(Headers, EthernetRoundTrip) {
+    ByteWriter w;
+    EthernetHeader h{.dst = 0xAABBCCDDEEFF, .src = 0x112233445566, .ethertype = 0x0800};
+    h.serialize(w);
+    EXPECT_EQ(w.size(), EthernetHeader::kSize);
+    ByteReader r{w.bytes()};
+    const auto parsed = EthernetHeader::parse(r);
+    EXPECT_EQ(parsed.dst, h.dst);
+    EXPECT_EQ(parsed.src, h.src);
+    EXPECT_EQ(parsed.ethertype, h.ethertype);
+}
+
+TEST(Headers, Ipv4RoundTrip) {
+    ByteWriter w;
+    Ipv4Header h;
+    h.total_length = 1500;
+    h.ttl = 17;
+    h.protocol = kIpProtoTcp;
+    h.src = 42;
+    h.dst = 77;
+    h.serialize(w);
+    EXPECT_EQ(w.size(), Ipv4Header::kSize);
+    ByteReader r{w.bytes()};
+    const auto parsed = Ipv4Header::parse(r);
+    EXPECT_EQ(parsed.total_length, 1500);
+    EXPECT_EQ(parsed.ttl, 17);
+    EXPECT_EQ(parsed.protocol, kIpProtoTcp);
+    EXPECT_EQ(parsed.src, 42U);
+    EXPECT_EQ(parsed.dst, 77U);
+}
+
+TEST(Headers, UdpFrameLayout) {
+    const auto payload = as_bytes("payload");
+    const auto frame = build_udp_frame(1, 2, 1111, 2222, payload);
+    EXPECT_EQ(frame.size(), kUdpFrameOverhead + 7);
+    const auto parsed = parse_frame(frame);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->udp.has_value());
+    EXPECT_EQ(parsed->ip.src, 1U);
+    EXPECT_EQ(parsed->ip.dst, 2U);
+    EXPECT_EQ(parsed->udp->src_port, 1111);
+    EXPECT_EQ(parsed->udp->dst_port, 2222);
+    EXPECT_EQ(parsed->udp->length, UdpHeader::kSize + 7);
+    const auto body = parsed->payload_of(frame);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(body.data()), body.size()),
+              "payload");
+}
+
+TEST(Headers, TcpFrameLayout) {
+    TcpHeader tcp;
+    tcp.src_port = 10;
+    tcp.dst_port = 20;
+    tcp.seq = 1000;
+    tcp.ack = 2000;
+    tcp.flags = TcpHeader::kFlagAck | TcpHeader::kFlagPsh;
+    const auto frame = build_tcp_frame(3, 4, tcp, as_bytes("x"));
+    EXPECT_EQ(frame.size(), kTcpFrameOverhead + 1);
+    const auto parsed = parse_frame(frame);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->tcp.has_value());
+    EXPECT_EQ(parsed->tcp->seq, 1000U);
+    EXPECT_EQ(parsed->tcp->ack, 2000U);
+    EXPECT_TRUE(parsed->tcp->ack_flag());
+    EXPECT_FALSE(parsed->tcp->syn());
+}
+
+TEST(Headers, NonIpv4ReturnsNullopt) {
+    ByteWriter w;
+    EthernetHeader{.dst = 1, .src = 2, .ethertype = 0x86DD}.serialize(w);
+    w.put_zeros(40);
+    EXPECT_FALSE(parse_frame(w.bytes()).has_value());
+}
+
+TEST(Headers, TruncatedFrameThrows) {
+    const auto frame = build_udp_frame(1, 2, 1, 2, as_bytes("abc"));
+    std::vector<std::byte> cut{frame.begin(), frame.begin() + 20};
+    EXPECT_THROW(parse_frame(cut), BufferError);
+}
+
+// ------------------------------------------------------- links & hosts
+
+TEST(Network, UdpDeliveryAcrossStar) {
+    Network net;
+    auto topo = make_star_l2(net, 3);
+    net.install_routes();
+
+    std::string received;
+    HostAddr from = 0;
+    topo.hosts[2]->udp_bind(9000, [&](HostAddr src, std::uint16_t, auto payload) {
+        from = src;
+        received.assign(reinterpret_cast<const char*>(payload.data()), payload.size());
+    });
+    topo.hosts[0]->udp_send(topo.hosts[2]->addr(), 1234, 9000, as_bytes("ping"));
+    net.run();
+    EXPECT_EQ(received, "ping");
+    EXPECT_EQ(from, topo.hosts[0]->addr());
+    EXPECT_EQ(topo.hosts[2]->counters().udp_frames_rx, 1U);
+    EXPECT_EQ(topo.hosts[0]->counters().udp_frames_tx, 1U);
+}
+
+TEST(Network, LinkTimingMatchesBandwidthAndDelay) {
+    Network net;
+    LinkParams params;
+    params.gbps = 1.0;                        // 1 Gb/s: 8 ns per byte
+    params.propagation_delay = 1000;          // 1 us
+    auto topo = make_star_l2(net, 2, params);
+    net.install_routes();
+
+    SimTime arrival = 0;
+    topo.hosts[1]->udp_bind(9, [&](HostAddr, std::uint16_t, auto) {
+        arrival = net.simulator().now();
+    });
+    const std::vector<std::byte> payload(58);  // frame = 42 + 58 = 100 bytes
+    topo.hosts[0]->udp_send(topo.hosts[1]->addr(), 9, 9, payload);
+    net.run();
+    // Two hops: each 100 B * 8 ns/B serialization + 1 us propagation.
+    EXPECT_EQ(arrival, 2 * (800 + 1000));
+}
+
+TEST(Network, FifoOrderingPreserved) {
+    Network net;
+    auto topo = make_star_l2(net, 2);
+    net.install_routes();
+    std::vector<int> order;
+    topo.hosts[1]->udp_bind(9, [&](HostAddr, std::uint16_t, auto payload) {
+        order.push_back(static_cast<int>(payload[0]));
+    });
+    for (int i = 0; i < 20; ++i) {
+        const std::byte b{static_cast<unsigned char>(i)};
+        topo.hosts[0]->udp_send(topo.hosts[1]->addr(), 9, 9, std::span{&b, 1});
+    }
+    net.run();
+    ASSERT_EQ(order.size(), 20U);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(Network, DropTailQueueDropsExcess) {
+    Network net;
+    LinkParams params;
+    params.gbps = 0.001;  // slow link so the queue builds up
+    params.queue_bytes = 300;
+    auto topo = make_star_l2(net, 2, params);
+    net.install_routes();
+    int delivered = 0;
+    topo.hosts[1]->udp_bind(9, [&](HostAddr, std::uint16_t, auto) { ++delivered; });
+    const std::vector<std::byte> payload(58);  // 100 B frames
+    for (int i = 0; i < 10; ++i) {
+        topo.hosts[0]->udp_send(topo.hosts[1]->addr(), 9, 9, payload);
+    }
+    net.run();
+    EXPECT_LT(delivered, 10);
+    EXPECT_GT(delivered, 0);
+    const auto& stats = net.links()[0]->stats(0);
+    EXPECT_EQ(stats.frames_dropped_queue + static_cast<std::uint64_t>(delivered), 10U);
+}
+
+TEST(Network, LossInjectionDropsFraction) {
+    Network net{77};
+    LinkParams params;
+    params.loss_probability = 0.5;
+    auto topo = make_star_l2(net, 2, params);
+    net.install_routes();
+    int delivered = 0;
+    topo.hosts[1]->udp_bind(9, [&](HostAddr, std::uint16_t, auto) { ++delivered; });
+    const std::vector<std::byte> payload(10);
+    for (int i = 0; i < 400; ++i) {
+        topo.hosts[0]->udp_send(topo.hosts[1]->addr(), 9, 9, payload);
+    }
+    net.run();
+    // Two lossy hops: expected delivery rate 0.25.
+    EXPECT_NEAR(delivered / 400.0, 0.25, 0.08);
+}
+
+TEST(Network, UnknownDestinationDropsAtSwitch) {
+    Network net;
+    auto topo = make_star_l2(net, 2);
+    net.install_routes();
+    topo.hosts[0]->udp_send(999, 9, 9, as_bytes("x"));
+    net.run();
+    auto* sw = dynamic_cast<L2Switch*>(topo.tor);
+    ASSERT_NE(sw, nullptr);
+    EXPECT_EQ(sw->stats().frames_dropped_no_route, 1U);
+}
+
+TEST(Network, UnboundPortCountsUnclaimed) {
+    Network net;
+    auto topo = make_star_l2(net, 2);
+    net.install_routes();
+    topo.hosts[0]->udp_send(topo.hosts[1]->addr(), 9, 1234, as_bytes("x"));
+    net.run();
+    EXPECT_EQ(topo.hosts[1]->counters().frames_rx_unclaimed, 1U);
+}
+
+// ----------------------------------------------------------- leaf-spine
+
+TEST(LeafSpine, AllPairsReachable) {
+    Network net;
+    auto topo = make_leaf_spine_l2(net, 3, 2, 2);
+    net.install_routes();
+    int received = 0;
+    for (auto* h : topo.hosts) {
+        h->udp_bind(9, [&](HostAddr, std::uint16_t, auto) { ++received; });
+    }
+    int sent = 0;
+    for (auto* src : topo.hosts) {
+        for (auto* dst : topo.hosts) {
+            if (src == dst) continue;
+            src->udp_send(dst->addr(), 9, 9, as_bytes("m"));
+            ++sent;
+        }
+    }
+    net.run();
+    EXPECT_EQ(received, sent);
+}
+
+TEST(LeafSpine, EcmpSpreadsFlowsAcrossSpines) {
+    Network net;
+    auto topo = make_leaf_spine_l2(net, 2, 2, 4);
+    net.install_routes();
+    for (auto* h : topo.hosts) {
+        h->udp_bind(9, [](HostAddr, std::uint16_t, auto) {});
+    }
+    // Many flows with distinct ports from rack 0 to rack 1.
+    for (std::uint16_t flow = 0; flow < 64; ++flow) {
+        topo.hosts[0]->udp_send(topo.hosts[7]->addr(),
+                                static_cast<std::uint16_t>(1000 + flow), 9,
+                                as_bytes("x"));
+    }
+    net.run();
+    // Count frames forwarded by each spine; both must see traffic.
+    std::vector<std::uint64_t> spine_counts;
+    for (auto* spine : topo.spines) {
+        auto* sw = dynamic_cast<L2Switch*>(spine);
+        ASSERT_NE(sw, nullptr);
+        spine_counts.push_back(sw->stats().frames_forwarded);
+    }
+    EXPECT_EQ(spine_counts[0] + spine_counts[1], 64U);
+    EXPECT_GT(spine_counts[0], 10U);
+    EXPECT_GT(spine_counts[1], 10U);
+}
+
+TEST(LeafSpine, SameLeafTrafficStaysLocal) {
+    Network net;
+    auto topo = make_leaf_spine_l2(net, 2, 2, 2);
+    net.install_routes();
+    topo.hosts[1]->udp_bind(9, [](HostAddr, std::uint16_t, auto) {});
+    topo.hosts[0]->udp_send(topo.hosts[1]->addr(), 9, 9, as_bytes("x"));
+    net.run();
+    for (auto* spine : topo.spines) {
+        auto* sw = dynamic_cast<L2Switch*>(spine);
+        EXPECT_EQ(sw->stats().frames_forwarded, 0U);
+    }
+}
+
+TEST(Network, HostByAddrLookup) {
+    Network net;
+    auto topo = make_star_l2(net, 3);
+    EXPECT_EQ(net.host_by_addr(topo.hosts[1]->addr()), topo.hosts[1]);
+    EXPECT_EQ(net.host_by_addr(0), nullptr);
+    EXPECT_EQ(net.host_by_addr(999), nullptr);
+}
+
+}  // namespace
+}  // namespace daiet::sim

@@ -1,0 +1,197 @@
+// Tests for the DAIET wire protocol and aggregation functions.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/aggregation.hpp"
+#include "core/protocol.hpp"
+
+namespace daiet {
+namespace {
+
+// ----------------------------------------------------------- protocol
+
+TEST(Protocol, DataRoundTrip) {
+    std::vector<KvPair> pairs;
+    for (int i = 0; i < 7; ++i) {
+        pairs.push_back(KvPair{Key16{"key" + std::to_string(i)},
+                               wire_from_i32(i * 10)});
+    }
+    const auto bytes = serialize_data(42, pairs);
+    EXPECT_EQ(bytes.size(), data_packet_size(7));
+    EXPECT_TRUE(looks_like_daiet(bytes));
+
+    const auto parsed = parse_packet(bytes);
+    const auto* data = std::get_if<DataPacket>(&parsed);
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(data->tree_id, 42);
+    EXPECT_EQ(data->pairs, pairs);
+}
+
+TEST(Protocol, EndRoundTrip) {
+    const auto bytes = serialize_end(7, 123456, true);
+    EXPECT_EQ(bytes.size(), kEndPacketSize);
+    const auto parsed = parse_packet(bytes);
+    const auto* end = std::get_if<EndPacket>(&parsed);
+    ASSERT_NE(end, nullptr);
+    EXPECT_EQ(end->tree_id, 7);
+    EXPECT_EQ(end->declared_pairs, 123456U);
+    EXPECT_TRUE(end->dirty);
+}
+
+TEST(Protocol, EndDefaultsAreCleanZero) {
+    const auto parsed = parse_packet(serialize_end(3));
+    const auto* end = std::get_if<EndPacket>(&parsed);
+    ASSERT_NE(end, nullptr);
+    EXPECT_EQ(end->declared_pairs, 0U);
+    EXPECT_FALSE(end->dirty);
+}
+
+TEST(Protocol, TenPairPacketFitsParseBudget) {
+    // §5: hardware parses 200-300 B; 10 pairs must stay within that.
+    EXPECT_LE(data_packet_size(10), 300U);
+    EXPECT_EQ(data_packet_size(10), 206U);
+}
+
+TEST(Protocol, RejectsBadMagic) {
+    auto bytes = serialize_end(1);
+    bytes[0] = std::byte{0x00};
+    EXPECT_FALSE(looks_like_daiet(bytes));
+    EXPECT_THROW(parse_packet(bytes), BufferError);
+}
+
+TEST(Protocol, RejectsTruncatedData) {
+    const std::vector<KvPair> pairs{KvPair{Key16{"a"}, 1}, KvPair{Key16{"b"}, 2}};
+    auto bytes = serialize_data(1, pairs);
+    bytes.resize(bytes.size() - 5);
+    EXPECT_THROW(parse_packet(bytes), BufferError);
+}
+
+TEST(Protocol, RejectsZeroEntryData) {
+    ByteWriter w;
+    w.put_u16(kDaietMagic);
+    w.put_u8(static_cast<std::uint8_t>(PacketType::kData));
+    w.put_u16(1);
+    w.put_u8(0);
+    EXPECT_THROW(parse_packet(w.bytes()), BufferError);
+}
+
+TEST(Protocol, RejectsUnknownType) {
+    ByteWriter w;
+    w.put_u16(kDaietMagic);
+    w.put_u8(99);
+    w.put_u16(1);
+    w.put_u8(0);
+    EXPECT_THROW(parse_packet(w.bytes()), BufferError);
+}
+
+TEST(Protocol, ShortBufferIsNotDaiet) {
+    const std::vector<std::byte> tiny(3);
+    EXPECT_FALSE(looks_like_daiet(tiny));
+}
+
+TEST(Protocol, RandomRoundTripProperty) {
+    Rng rng{99};
+    for (int iter = 0; iter < 200; ++iter) {
+        const auto n = 1 + rng.next_below(10);
+        std::vector<KvPair> pairs;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            pairs.push_back(KvPair{Key16::from_u64(rng.next_u64() | 1),
+                                   static_cast<WireValue>(rng.next_u64())});
+        }
+        const auto tree = static_cast<TreeId>(rng.next_below(65536));
+        const auto parsed = parse_packet(serialize_data(tree, pairs));
+        const auto* data = std::get_if<DataPacket>(&parsed);
+        ASSERT_NE(data, nullptr);
+        EXPECT_EQ(data->tree_id, tree);
+        EXPECT_EQ(data->pairs, pairs);
+    }
+}
+
+// -------------------------------------------------------- aggregation
+
+TEST(Aggregation, SumI32) {
+    EXPECT_EQ(i32_from_wire(combine(AggFnId::kSumI32, wire_from_i32(5),
+                                    wire_from_i32(7))),
+              12);
+    EXPECT_EQ(i32_from_wire(combine(AggFnId::kSumI32, wire_from_i32(-5),
+                                    wire_from_i32(3))),
+              -2);
+}
+
+TEST(Aggregation, SumI32WrapsWithoutUb) {
+    const auto big = wire_from_i32(std::numeric_limits<std::int32_t>::max());
+    EXPECT_EQ(i32_from_wire(combine(AggFnId::kSumI32, big, wire_from_i32(1))),
+              std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(Aggregation, SumF32) {
+    const auto r = combine(AggFnId::kSumF32, wire_from_f32(1.5F), wire_from_f32(2.25F));
+    EXPECT_FLOAT_EQ(f32_from_wire(r), 3.75F);
+}
+
+TEST(Aggregation, MinMax) {
+    EXPECT_EQ(i32_from_wire(combine(AggFnId::kMinI32, wire_from_i32(5),
+                                    wire_from_i32(-7))),
+              -7);
+    EXPECT_EQ(i32_from_wire(combine(AggFnId::kMaxI32, wire_from_i32(5),
+                                    wire_from_i32(-7))),
+              5);
+}
+
+TEST(Aggregation, CountIgnoresValue) {
+    WireValue acc = first_value(AggFnId::kCount, wire_from_i32(999));
+    EXPECT_EQ(i32_from_wire(acc), 1);
+    acc = combine(AggFnId::kCount, acc, wire_from_i32(12345));
+    EXPECT_EQ(i32_from_wire(acc), 2);
+}
+
+TEST(Aggregation, IdentityIsNeutral) {
+    Rng rng{3};
+    for (const auto fn : {AggFnId::kSumI32, AggFnId::kSumF32, AggFnId::kMinI32,
+                          AggFnId::kMaxI32}) {
+        for (int i = 0; i < 100; ++i) {
+            WireValue v = static_cast<WireValue>(rng.next_u64());
+            if (fn == AggFnId::kSumF32) {
+                v = wire_from_f32(static_cast<float>(rng.next_gaussian()));
+            }
+            EXPECT_EQ(combine(fn, identity_of(fn), v), v)
+                << "fn=" << to_string(fn);
+        }
+    }
+}
+
+TEST(Aggregation, CommutativeProperty) {
+    Rng rng{4};
+    for (const auto fn : {AggFnId::kSumI32, AggFnId::kMinI32, AggFnId::kMaxI32}) {
+        for (int i = 0; i < 200; ++i) {
+            const auto a = static_cast<WireValue>(rng.next_u64());
+            const auto b = static_cast<WireValue>(rng.next_u64());
+            EXPECT_EQ(combine(fn, a, b), combine(fn, b, a)) << to_string(fn);
+        }
+    }
+}
+
+TEST(Aggregation, AssociativeProperty) {
+    Rng rng{5};
+    for (const auto fn : {AggFnId::kSumI32, AggFnId::kMinI32, AggFnId::kMaxI32}) {
+        for (int i = 0; i < 200; ++i) {
+            const auto a = static_cast<WireValue>(rng.next_u64());
+            const auto b = static_cast<WireValue>(rng.next_u64());
+            const auto c = static_cast<WireValue>(rng.next_u64());
+            EXPECT_EQ(combine(fn, combine(fn, a, b), c),
+                      combine(fn, a, combine(fn, b, c)))
+                << to_string(fn);
+        }
+    }
+}
+
+TEST(Aggregation, Names) {
+    EXPECT_EQ(to_string(AggFnId::kSumI32), "sum_i32");
+    EXPECT_EQ(to_string(AggFnId::kSumF32), "sum_f32");
+    EXPECT_EQ(to_string(AggFnId::kMinI32), "min_i32");
+    EXPECT_EQ(to_string(AggFnId::kMaxI32), "max_i32");
+    EXPECT_EQ(to_string(AggFnId::kCount), "count");
+}
+
+}  // namespace
+}  // namespace daiet

@@ -1,0 +1,163 @@
+// Tests for the restart-based reliability extension (paper future work).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/controller.hpp"
+#include "core/pipeline_program.hpp"
+#include "core/reliable.hpp"
+#include "core/worker.hpp"
+#include "netsim/network.hpp"
+
+namespace daiet {
+namespace {
+
+struct LossyStar {
+    sim::Network net;
+    Config cfg;
+    sim::PipelineSwitchNode* tor{nullptr};
+    std::shared_ptr<DaietSwitchProgram> program;
+    std::vector<sim::Host*> mappers;
+    sim::Host* reducer{nullptr};
+    std::unique_ptr<Controller> controller;
+    TreeLayout layout;
+
+    LossyStar(std::size_t n_mappers, double loss, std::uint64_t seed) : net{seed} {
+        cfg.register_size = 1024;
+        cfg.max_trees = 2;
+        dp::SwitchConfig sc;
+        sc.num_ports = static_cast<std::uint16_t>(n_mappers + 2);
+        tor = &net.add_pipeline_switch("tor", sc);
+        program = load_daiet_program(cfg, tor->chip());
+        sim::LinkParams lossy;
+        lossy.loss_probability = loss;
+        for (std::size_t i = 0; i < n_mappers; ++i) {
+            auto& h = net.add_host("m" + std::to_string(i));
+            net.connect(h, *tor, lossy);
+            mappers.push_back(&h);
+        }
+        auto& r = net.add_host("reducer");
+        net.connect(r, *tor, lossy);
+        reducer = &r;
+        net.install_routes();
+        controller = std::make_unique<Controller>(net, cfg);
+        controller->register_program(tor->id(), program);
+        TreeSpec spec;
+        spec.id = 1;
+        spec.reducer = reducer;
+        spec.mappers = mappers;
+        layout = controller->setup_tree(spec);
+    }
+};
+
+TEST(Reliable, CompletesFirstTryOnCleanNetwork) {
+    LossyStar star{2, 0.0, 5};
+    ReducerReceiver rx{*star.reducer, star.cfg, 1, AggFnId::kSumI32,
+                       star.layout.reducer_expected_ends};
+    const auto report = run_with_restart(
+        star.net, *star.controller, {1},
+        [&] {
+            for (auto* m : star.mappers) {
+                MapperSender tx{*m, star.cfg, 1, star.reducer->addr()};
+                tx.send(KvPair{Key16{"k"}, wire_from_i32(1)});
+                tx.finish();
+            }
+        },
+        [&] { return rx.complete() && rx.clean(); },
+        [&] { rx.reset(star.layout.reducer_expected_ends); });
+    EXPECT_TRUE(report.success);
+    EXPECT_EQ(report.attempts, 1U);
+    EXPECT_EQ(i32_from_wire(rx.aggregated().at(Key16{"k"})), 2);
+}
+
+TEST(Reliable, RestartRecoversExactTotalsUnderLoss) {
+    // 2% loss per hop: most attempts lose something; the coordinator
+    // must converge to a loss-free replay with *exact* totals (no
+    // double counting from earlier partial attempts).
+    LossyStar star{3, 0.02, 99};
+    ReducerReceiver rx{*star.reducer, star.cfg, 1, AggFnId::kSumI32,
+                       star.layout.reducer_expected_ends};
+
+    std::map<std::string, std::int64_t> expected;
+    std::vector<std::vector<KvPair>> streams(star.mappers.size());
+    Rng rng{4};
+    for (auto& stream : streams) {
+        for (int i = 0; i < 400; ++i) {
+            const auto word = "w" + std::to_string(rng.next_below(100));
+            const auto value = static_cast<std::int32_t>(rng.next_int(1, 5));
+            expected[word] += value;
+            stream.push_back(KvPair{Key16{word}, wire_from_i32(value)});
+        }
+    }
+
+    const auto report = run_with_restart(
+        star.net, *star.controller, {1},
+        [&] {
+            for (std::size_t m = 0; m < star.mappers.size(); ++m) {
+                MapperSender tx{*star.mappers[m], star.cfg, 1, star.reducer->addr()};
+                tx.send_all(streams[m]);
+                tx.finish();
+            }
+        },
+        [&] { return rx.complete() && rx.clean(); },
+        [&] { rx.reset(star.layout.reducer_expected_ends); },
+        /*max_attempts=*/64);
+
+    ASSERT_TRUE(report.success) << "did not converge in 64 attempts";
+    std::map<std::string, std::int64_t> actual;
+    for (const auto& [key, value] : rx.aggregated()) {
+        actual[key.to_string()] += i32_from_wire(value);
+    }
+    EXPECT_EQ(actual, expected)
+        << "restart recovery must preserve exactly-once aggregation";
+    EXPECT_GE(report.attempts, 2U) << "test should exercise at least one restart";
+}
+
+TEST(Reliable, GivesUpAfterMaxAttempts) {
+    LossyStar star{1, 1.0, 7};  // dead links
+    ReducerReceiver rx{*star.reducer, star.cfg, 1, AggFnId::kSumI32,
+                       star.layout.reducer_expected_ends};
+    const auto report = run_with_restart(
+        star.net, *star.controller, {1},
+        [&] {
+            MapperSender tx{*star.mappers[0], star.cfg, 1, star.reducer->addr()};
+            tx.send(KvPair{Key16{"k"}, wire_from_i32(1)});
+            tx.finish();
+        },
+        [&] { return rx.complete() && rx.clean(); },
+        [&] { rx.reset(star.layout.reducer_expected_ends); },
+        /*max_attempts=*/3);
+    EXPECT_FALSE(report.success);
+    EXPECT_EQ(report.attempts, 3U);
+}
+
+TEST(Reliable, RestartTreeWipesHeldState) {
+    LossyStar star{2, 0.0, 11};
+    // First attempt: only one mapper sends an END, so the switch holds
+    // partial state.
+    MapperSender first{*star.mappers[0], star.cfg, 1, star.reducer->addr()};
+    first.send(KvPair{Key16{"partial"}, wire_from_i32(7)});
+    first.finish();
+    star.net.run();
+    EXPECT_GT(star.program->held_pairs(1), 0U);
+
+    star.controller->restart_tree(1);
+    EXPECT_EQ(star.program->held_pairs(1), 0U);
+
+    // A fresh round now completes with only the fresh data.
+    ReducerReceiver rx{*star.reducer, star.cfg, 1, AggFnId::kSumI32,
+                       star.layout.reducer_expected_ends};
+    for (auto* m : star.mappers) {
+        MapperSender tx{*m, star.cfg, 1, star.reducer->addr()};
+        tx.send(KvPair{Key16{"fresh"}, wire_from_i32(1)});
+        tx.finish();
+    }
+    star.net.run();
+    ASSERT_TRUE(rx.complete());
+    EXPECT_EQ(rx.aggregated().size(), 1U);
+    EXPECT_EQ(i32_from_wire(rx.aggregated().at(Key16{"fresh"})), 2);
+}
+
+}  // namespace
+}  // namespace daiet

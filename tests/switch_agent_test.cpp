@@ -1,0 +1,278 @@
+// Tests for the host-side reference implementation of Algorithm 1.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/switch_agent.hpp"
+
+namespace daiet {
+namespace {
+
+Config small_config() {
+    Config cfg;
+    cfg.register_size = 64;
+    cfg.max_trees = 4;
+    cfg.max_pairs_per_packet = 10;
+    cfg.spillover_capacity = 10;
+    return cfg;
+}
+
+KvPair kv(const std::string& k, std::int32_t v) {
+    return KvPair{Key16{k}, wire_from_i32(v)};
+}
+
+/// Fold a stream of packets' pairs into per-key totals.
+std::map<std::string, std::int64_t> totals(
+    const std::vector<std::vector<KvPair>>& packets) {
+    std::map<std::string, std::int64_t> out;
+    for (const auto& packet : packets) {
+        for (const auto& p : packet) out[p.key.to_string()] += i32_from_wire(p.value);
+    }
+    return out;
+}
+
+TEST(SwitchAgent, AggregatesSameKey) {
+    SwitchAgent agent{small_config()};
+    agent.configure_tree(1, AggFnId::kSumI32, 1);
+    EXPECT_TRUE(agent.on_data(1, std::vector{kv("abc", 2)}).empty());
+    EXPECT_TRUE(agent.on_data(1, std::vector{kv("abc", 3)}).empty());
+    EXPECT_EQ(agent.held_pairs(1), 1U);
+
+    const auto end = agent.on_end(1);
+    EXPECT_TRUE(end.completed);
+    ASSERT_EQ(end.packets.size(), 1U);
+    ASSERT_EQ(end.packets[0].size(), 1U);
+    EXPECT_EQ(end.packets[0][0].key.to_string(), "abc");
+    EXPECT_EQ(i32_from_wire(end.packets[0][0].value), 5);
+
+    const auto& stats = agent.stats(1);
+    EXPECT_EQ(stats.pairs_in, 2U);
+    EXPECT_EQ(stats.pairs_stored, 1U);
+    EXPECT_EQ(stats.pairs_combined, 1U);
+    EXPECT_EQ(stats.pairs_spilled, 0U);
+    EXPECT_EQ(stats.pairs_out, 1U);
+}
+
+TEST(SwitchAgent, DistinctKeysOccupyDistinctCells) {
+    SwitchAgent agent{small_config()};
+    agent.configure_tree(1, AggFnId::kSumI32, 1);
+    agent.on_data(1, std::vector{kv("a", 1), kv("b", 2), kv("c", 3)});
+    EXPECT_EQ(agent.held_pairs(1), 3U);
+    const auto end = agent.on_end(1);
+    EXPECT_EQ(totals(end.packets),
+              (std::map<std::string, std::int64_t>{{"a", 1}, {"b", 2}, {"c", 3}}));
+}
+
+TEST(SwitchAgent, EndCountsDownChildren) {
+    SwitchAgent agent{small_config()};
+    agent.configure_tree(1, AggFnId::kSumI32, 3);
+    agent.on_data(1, std::vector{kv("x", 1)});
+    EXPECT_FALSE(agent.on_end(1).completed);
+    EXPECT_FALSE(agent.on_end(1).completed);
+    const auto final_end = agent.on_end(1);
+    EXPECT_TRUE(final_end.completed);
+    EXPECT_EQ(totals(final_end.packets)["x"], 1);
+}
+
+TEST(SwitchAgent, CollisionGoesToSpillover) {
+    // register_size = 1 forces every distinct key after the first into
+    // the spillover bucket.
+    Config cfg = small_config();
+    cfg.register_size = 1;
+    cfg.spillover_capacity = 4;
+    SwitchAgent agent{cfg};
+    agent.configure_tree(1, AggFnId::kSumI32, 1);
+    auto flushed = agent.on_data(1, std::vector{kv("a", 1), kv("b", 2), kv("c", 3)});
+    EXPECT_TRUE(flushed.empty());  // bucket not yet full
+    EXPECT_EQ(agent.stats(1).pairs_spilled, 2U);
+    // Same key as the stored one still aggregates.
+    agent.on_data(1, std::vector{kv("a", 10)});
+    EXPECT_EQ(agent.stats(1).pairs_combined, 1U);
+}
+
+TEST(SwitchAgent, FullSpilloverFlushesImmediately) {
+    Config cfg = small_config();
+    cfg.register_size = 1;
+    cfg.spillover_capacity = 2;
+    SwitchAgent agent{cfg};
+    agent.configure_tree(1, AggFnId::kSumI32, 1);
+    const auto flushed =
+        agent.on_data(1, std::vector{kv("a", 1), kv("b", 2), kv("c", 3)});
+    // "b" and "c" spill; bucket (capacity 2) fills and flushes at once.
+    ASSERT_EQ(flushed.size(), 1U);
+    EXPECT_EQ(totals(flushed), (std::map<std::string, std::int64_t>{{"b", 2}, {"c", 3}}));
+    EXPECT_EQ(agent.stats(1).spill_flushes, 1U);
+}
+
+TEST(SwitchAgent, SpilloverSentBeforeRegistersOnEnd) {
+    // §4: "The non-aggregated values in the spillover bucket are the
+    // first to be sent to the next node."
+    Config cfg = small_config();
+    cfg.register_size = 1;
+    cfg.spillover_capacity = 8;
+    SwitchAgent agent{cfg};
+    agent.configure_tree(1, AggFnId::kSumI32, 1);
+    agent.on_data(1, std::vector{kv("stored", 1), kv("spilled", 2)});
+    const auto end = agent.on_end(1);
+    ASSERT_GE(end.packets.size(), 2U);
+    EXPECT_EQ(end.packets[0][0].key.to_string(), "spilled");
+    EXPECT_EQ(end.packets[1][0].key.to_string(), "stored");
+}
+
+TEST(SwitchAgent, FlushPacketizesAtMaxPairs) {
+    Config cfg = small_config();
+    cfg.register_size = 256;
+    cfg.max_pairs_per_packet = 10;
+    SwitchAgent agent{cfg};
+    agent.configure_tree(1, AggFnId::kSumI32, 1);
+    // Pick 25 keys that occupy distinct register cells so that exactly
+    // 25 aggregated pairs flush (no spillover involved).
+    std::vector<KvPair> pairs;
+    std::set<std::size_t> cells;
+    for (int i = 0; pairs.size() < 25; ++i) {
+        const auto candidate = kv("k" + std::to_string(i), 1);
+        if (cells.insert(agent.index_of(candidate.key)).second) {
+            pairs.push_back(candidate);
+        }
+    }
+    agent.on_data(1, pairs);
+    const auto end = agent.on_end(1);
+    ASSERT_EQ(end.packets.size(), 3U);
+    EXPECT_EQ(end.packets[0].size(), 10U);
+    EXPECT_EQ(end.packets[1].size(), 10U);
+    EXPECT_EQ(end.packets[2].size(), 5U);
+}
+
+TEST(SwitchAgent, FlushClearsStateForReuse) {
+    SwitchAgent agent{small_config()};
+    agent.configure_tree(1, AggFnId::kSumI32, 1);
+    agent.on_data(1, std::vector{kv("a", 1)});
+    agent.on_end(1);
+    EXPECT_EQ(agent.held_pairs(1), 0U);
+
+    agent.reset_tree(1, 1);
+    agent.on_data(1, std::vector{kv("a", 100)});
+    const auto end = agent.on_end(1);
+    EXPECT_EQ(totals(end.packets)["a"], 100);
+}
+
+TEST(SwitchAgent, MinAggregation) {
+    SwitchAgent agent{small_config()};
+    agent.configure_tree(2, AggFnId::kMinI32, 1);
+    agent.on_data(2, std::vector{kv("d", 30), kv("d", 10), kv("d", 20)});
+    const auto end = agent.on_end(2);
+    EXPECT_EQ(i32_from_wire(end.packets[0][0].value), 10);
+}
+
+TEST(SwitchAgent, CountAggregation) {
+    SwitchAgent agent{small_config()};
+    agent.configure_tree(2, AggFnId::kCount, 1);
+    agent.on_data(2, std::vector{kv("d", 999), kv("d", 999), kv("d", 999)});
+    const auto end = agent.on_end(2);
+    EXPECT_EQ(i32_from_wire(end.packets[0][0].value), 3);
+}
+
+TEST(SwitchAgent, IndependentTrees) {
+    SwitchAgent agent{small_config()};
+    agent.configure_tree(1, AggFnId::kSumI32, 1);
+    agent.configure_tree(2, AggFnId::kSumI32, 2);
+    agent.on_data(1, std::vector{kv("k", 1)});
+    agent.on_data(2, std::vector{kv("k", 100)});
+    const auto end1 = agent.on_end(1);
+    EXPECT_EQ(totals(end1.packets)["k"], 1);
+    EXPECT_FALSE(agent.on_end(2).completed);
+    const auto end2 = agent.on_end(2);
+    EXPECT_EQ(totals(end2.packets)["k"], 100);
+}
+
+TEST(SwitchAgent, TreeCapacityEnforced) {
+    Config cfg = small_config();
+    cfg.max_trees = 2;
+    SwitchAgent agent{cfg};
+    agent.configure_tree(1, AggFnId::kSumI32, 1);
+    agent.configure_tree(2, AggFnId::kSumI32, 1);
+    EXPECT_THROW(agent.configure_tree(3, AggFnId::kSumI32, 1), std::runtime_error);
+}
+
+TEST(SwitchAgent, UnknownTreeThrows) {
+    SwitchAgent agent{small_config()};
+    EXPECT_THROW(agent.on_end(9), std::runtime_error);
+    EXPECT_THROW(agent.on_data(9, std::vector{kv("a", 1)}), std::runtime_error);
+    EXPECT_THROW(agent.stats(9), std::runtime_error);
+}
+
+// ------------------------------------------------------------ property
+
+struct ConservationParams {
+    std::size_t register_size;
+    std::size_t vocab;
+    std::size_t pairs;
+    std::uint32_t children;
+};
+
+class AgentConservation : public ::testing::TestWithParam<ConservationParams> {};
+
+/// Whatever the register pressure and spillover behaviour, the multiset
+/// fold of everything the agent ever forwards equals the fold of
+/// everything it received — the paper's correctness requirement.
+TEST_P(AgentConservation, ValuePreservingUnderPressure) {
+    const auto param = GetParam();
+    Config cfg;
+    cfg.register_size = param.register_size;
+    cfg.max_trees = 1;
+    cfg.spillover_capacity = 10;
+    SwitchAgent agent{cfg};
+    agent.configure_tree(1, AggFnId::kSumI32, param.children);
+
+    Rng rng{param.pairs * 31 + param.register_size};
+    std::map<std::string, std::int64_t> expected;
+    std::vector<std::vector<KvPair>> forwarded;
+
+    // Interleave data among `children` senders; each sends an END.
+    std::size_t sent = 0;
+    for (std::uint32_t child = 0; child < param.children; ++child) {
+        const std::size_t share = param.pairs / param.children;
+        std::vector<KvPair> batch;
+        for (std::size_t i = 0; i < share; ++i) {
+            const auto word = "w" + std::to_string(rng.next_below(param.vocab));
+            const auto value = static_cast<std::int32_t>(rng.next_int(-50, 50));
+            expected[word] += value;
+            batch.push_back(kv(word, value));
+            ++sent;
+            if (batch.size() == 10) {
+                for (auto& p : agent.on_data(1, batch)) forwarded.push_back(std::move(p));
+                batch.clear();
+            }
+        }
+        if (!batch.empty()) {
+            for (auto& p : agent.on_data(1, batch)) forwarded.push_back(std::move(p));
+        }
+        const auto end = agent.on_end(1);
+        EXPECT_EQ(end.completed, child + 1 == param.children);
+        for (auto& p : end.packets) forwarded.push_back(std::move(p));
+    }
+
+    // Drop zero-total keys from the expectation (sum may cancel).
+    std::erase_if(expected, [](const auto& kvp) { return kvp.second == 0; });
+    auto actual = totals(forwarded);
+    std::erase_if(actual, [](const auto& kvp) { return kvp.second == 0; });
+    EXPECT_EQ(actual, expected);
+    EXPECT_EQ(agent.stats(1).pairs_in, sent);
+    EXPECT_EQ(agent.held_pairs(1), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pressure, AgentConservation,
+    ::testing::Values(
+        ConservationParams{1, 20, 200, 1},      // pathological: 1 cell
+        ConservationParams{4, 50, 500, 2},      // heavy collisions
+        ConservationParams{64, 50, 500, 3},     // moderate
+        ConservationParams{1024, 100, 1000, 4}, // light
+        ConservationParams{16384, 500, 5000, 6} // paper-sized registers
+        ));
+
+}  // namespace
+}  // namespace daiet

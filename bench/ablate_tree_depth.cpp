@@ -1,9 +1,10 @@
-// Ablation A5 (§4, Figure 2): multi-level aggregation trees. On a
-// two-tier leaf-spine fabric, DAIET aggregates at every hop; we compare
-// the single-ToR rack deployment against the fabric, and report how
-// much each level contributes.
+// Ablation A5 (§4, Figure 2): multi-level aggregation trees. DAIET
+// aggregates at every programmable hop; we compare the single-ToR rack
+// deployment against a 2-tier leaf-spine fabric and a 3-tier k=4
+// fat-tree, and report how much each extra level contributes.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "mapreduce/job.hpp"
@@ -22,33 +23,48 @@ int main() {
 
     print_figure_banner(std::cout, "Ablation A5",
                         "aggregation-tree depth: single ToR vs 2-tier leaf-spine "
-                        "(4 leaves, 2 spines)",
+                        "(4 leaves, 2 spines) vs 3-tier fat-tree (k=4)",
                         "multi-level trees reach the same end-to-end reduction while "
                         "already shrinking traffic at the first hop (Figure 2's "
                         "physical vs logical view)");
 
+    BenchJson json{"ablate_tree_depth"};
+    json.root().integer("mappers", cc.num_mappers).integer("reducers", cc.num_reducers);
+
     TextTable table{{"topology", "mode", "payload@reducers", "frames@reducers",
                      "sim makespan (us)"}};
-    for (const bool leaf_spine : {false, true}) {
+    for (const auto topology :
+         {rt::TopologyKind::kStar, rt::TopologyKind::kLeafSpine,
+          rt::TopologyKind::kFatTree}) {
         for (const auto mode : {ShuffleMode::kUdpNoAgg, ShuffleMode::kDaiet}) {
             JobOptions opts;
             opts.mode = mode;
             opts.daiet.max_trees = cc.num_reducers;
-            opts.leaf_spine = leaf_spine;
+            opts.topology = topology;
             opts.n_leaf = 4;
             opts.n_spine = 2;
+            opts.fat_tree_k = 4;  // 16 slots cover the 12 hosts
             const auto result = run_wordcount_job(corpus, opts);
-            table.add_row({leaf_spine ? "leaf-spine" : "single ToR",
+            table.add_row({std::string{rt::to_string(topology)},
                            std::string{to_string(mode)},
                            std::to_string(result.total_payload_bytes_at_reducers()),
                            std::to_string(result.total_frames_at_reducers()),
                            TextTable::fmt(static_cast<double>(result.sim_duration) / 1e3,
                                           1)});
+            json.push("runs")
+                .text("topology", std::string{rt::to_string(topology)})
+                .text("mode", std::string{to_string(mode)})
+                .integer("payload_bytes_at_reducers",
+                         result.total_payload_bytes_at_reducers())
+                .integer("frames_at_reducers", result.total_frames_at_reducers())
+                .integer("sim_duration_ns", result.sim_duration)
+                .integer("switch_recirculations", result.switch_recirculations);
         }
     }
     table.print(std::cout);
-    std::cout << "\n(identical reducer-side reduction in both topologies; the "
-                 "leaf-spine run additionally keeps aggregated traffic off the "
-                 "spine links)\n";
+    json.write();
+    std::cout << "\n(identical reducer-side reduction in every topology; the "
+                 "deeper fabrics additionally keep aggregated traffic off the "
+                 "spine and core links)\n";
     return 0;
 }

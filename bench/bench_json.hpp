@@ -1,0 +1,116 @@
+// Machine-readable bench output.
+//
+// Every figure/ablation harness writes a BENCH_<slug>.json file beside
+// its stdout tables so the perf trajectory can be tracked across PRs by
+// tooling (CI uploads these as artifacts). Deliberately tiny: flat
+// metrics on a root object plus named arrays of flat records.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace daiet::bench {
+
+inline std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// One flat JSON object; values are stored pre-serialized.
+class JsonObject {
+public:
+    JsonObject& number(const std::string& key, double value) {
+        std::ostringstream os;
+        os << value;
+        return raw(key, os.str());
+    }
+    JsonObject& integer(const std::string& key, std::uint64_t value) {
+        return raw(key, std::to_string(value));
+    }
+    JsonObject& text(const std::string& key, const std::string& value) {
+        return raw(key, "\"" + json_escape(value) + "\"");
+    }
+
+    std::string serialize() const {
+        std::string out = "{";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += "\"" + json_escape(items_[i].first) + "\": " + items_[i].second;
+        }
+        return out + "}";
+    }
+
+private:
+    JsonObject& raw(const std::string& key, std::string value) {
+        items_.emplace_back(key, std::move(value));
+        return *this;
+    }
+    std::vector<std::pair<std::string, std::string>> items_;
+};
+
+class BenchJson {
+public:
+    /// `slug` names the output file: BENCH_<slug>.json.
+    explicit BenchJson(std::string slug) : slug_{std::move(slug)} {
+        root_.text("bench", slug_);
+    }
+
+    JsonObject& root() { return root_; }
+
+    /// Append a record to the named array (created on first use).
+    JsonObject& push(const std::string& array) {
+        for (auto& [name, records] : arrays_) {
+            if (name == array) {
+                records.emplace_back();
+                return records.back();
+            }
+        }
+        arrays_.emplace_back(array, std::vector<JsonObject>{1});
+        return arrays_.back().second.back();
+    }
+
+    /// Write BENCH_<slug>.json in the current working directory.
+    void write() const {
+        std::ofstream out{"BENCH_" + slug_ + ".json"};
+        std::string body = root_.serialize();
+        body.pop_back();  // reopen the root object to splice arrays in
+        for (const auto& [name, records] : arrays_) {
+            body += ", \"" + json_escape(name) + "\": [";
+            for (std::size_t i = 0; i < records.size(); ++i) {
+                if (i > 0) body += ", ";
+                body += records[i].serialize();
+            }
+            body += "]";
+        }
+        out << body << "}\n";
+    }
+
+private:
+    std::string slug_;
+    JsonObject root_;
+    std::vector<std::pair<std::string, std::vector<JsonObject>>> arrays_;
+};
+
+}  // namespace daiet::bench

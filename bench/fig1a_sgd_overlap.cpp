@@ -5,7 +5,7 @@
 
 int main() {
     daiet::bench::run_overlap_experiment(
-        "Figure 1(a)", daiet::ml::OptimizerKind::kSgd, 3,
+        "Figure 1(a)", "fig1a_sgd_overlap", daiet::ml::OptimizerKind::kSgd, 3,
         "overlap fluctuates within ~34-50%, average ~42.5%");
     return 0;
 }

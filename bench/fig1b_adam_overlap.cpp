@@ -4,7 +4,7 @@
 
 int main() {
     daiet::bench::run_overlap_experiment(
-        "Figure 1(b)", daiet::ml::OptimizerKind::kAdam, 100,
+        "Figure 1(b)", "fig1b_adam_overlap", daiet::ml::OptimizerKind::kAdam, 100,
         "overlap fluctuates within ~62-72%, average ~66.5%");
     return 0;
 }

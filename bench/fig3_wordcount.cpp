@@ -10,6 +10,7 @@
 // box plot over the 12 reducers reproduces the figure.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -41,6 +42,12 @@ int main() {
     options.mode = ShuffleMode::kDaiet;
     const auto daiet_run = run_wordcount_job(corpus, options);
 
+    BenchJson json{"fig3_wordcount"};
+    json.root()
+        .integer("num_mappers", cc.num_mappers)
+        .integer("num_reducers", cc.num_reducers)
+        .integer("total_words", cc.total_words);
+
     // Per-reducer relative reductions (the 12 samples behind each box).
     Samples data_volume;
     Samples reduce_time;
@@ -66,6 +73,12 @@ int main() {
         per_reducer.add_row({std::to_string(r), TextTable::pct(dv),
                              TextTable::pct(rt), TextTable::pct(pu),
                              TextTable::pct(pt)});
+        json.push("reducers")
+            .integer("reducer", r)
+            .number("data_volume_reduction", dv)
+            .number("reduce_time_reduction", rt)
+            .number("packets_vs_udp_reduction", pu)
+            .number("packets_vs_tcp_reduction", pt);
     }
     per_reducer.print(std::cout);
 
@@ -77,6 +90,13 @@ int main() {
         boxes.add_row({name, TextTable::pct(b.min), TextTable::pct(b.q1),
                        TextTable::pct(b.median), TextTable::pct(b.q3),
                        TextTable::pct(b.max), paper});
+        json.push("box_plots")
+            .text("metric", name)
+            .number("min", b.min)
+            .number("q1", b.q1)
+            .number("median", b.median)
+            .number("q3", b.q3)
+            .number("max", b.max);
     };
     row("data volume", data_volume, "86.9%..89.3%, median ~88%");
     row("reduce time", reduce_time, "median 83.6%");
@@ -99,8 +119,20 @@ int main() {
                      std::to_string(job->total_payload_bytes_at_reducers()),
                      std::to_string(job->total_frames_at_reducers()),
                      TextTable::fmt(reduce_ms, 1)});
+        json.push("modes")
+            .text("mode", std::string{to_string(job->mode)})
+            .integer("pairs_shuffled", job->total_pairs_shuffled)
+            .integer("pairs_at_reducers", pairs)
+            .integer("payload_bytes_at_reducers",
+                     job->total_payload_bytes_at_reducers())
+            .integer("frames_at_reducers", job->total_frames_at_reducers())
+            .number("reduce_total_ms", reduce_ms);
     }
     agg.print(std::cout);
+    json.root()
+        .integer("switch_sram_used_bytes", daiet_run.switch_sram_used_bytes)
+        .integer("switch_recirculations", daiet_run.switch_recirculations);
+    json.write();
 
     std::cout << "\nswitch: SRAM used "
               << TextTable::fmt(

@@ -3,16 +3,14 @@
 // (key = destination vertex, value = f32 rank share) cross a simulated
 // network whose programmable switch sums messages per destination, so
 // each worker receives one combined message per vertex instead of one
-// per in-edge.
+// per in-edge. The NetworkedPregelEngine runs the supersteps; the
+// cluster runtime owns every piece of fabric wiring.
 #include <cmath>
 #include <cstdio>
 
-#include "core/controller.hpp"
-#include "core/pipeline_program.hpp"
-#include "core/worker.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/distributed.hpp"
 #include "graph/generator.hpp"
-#include "netsim/network.hpp"
 
 int main() {
     using namespace daiet;
@@ -20,143 +18,47 @@ int main() {
 
     constexpr std::size_t kWorkers = 4;
     constexpr std::size_t kIterations = 5;
-    constexpr double kDamping = 0.85;
 
     RmatConfig rc;
     rc.scale = 12;  // 4096 vertices: small enough to verify exactly
     rc.edge_factor = 12;
     const Graph g = generate_rmat(rc);
-    const auto n = g.num_vertices();
-    std::printf("graph: %zu vertices, %zu edges, %zu workers\n", n, g.num_edges(),
-                kWorkers);
+    std::printf("graph: %zu vertices, %zu edges, %zu workers\n", g.num_vertices(),
+                g.num_edges(), kWorkers);
 
     // --- cluster: one host per worker, one DAIET tree rooted at each ----------
-    sim::Network net;
-    Config config;
-    config.max_trees = kWorkers;
-    config.register_size = 16 * 1024;
-    dp::SwitchConfig chip_config;
-    chip_config.num_ports = 8;
-    chip_config.sram_bytes = 64 << 20;
-    auto& tor = net.add_pipeline_switch("tor", chip_config);
-    auto program = load_daiet_program(config, tor.chip());
+    rt::ClusterOptions options;
+    options.num_hosts = kWorkers;
+    options.config.max_trees = kWorkers;
+    rt::ClusterRuntime cluster{options};
 
-    std::vector<sim::Host*> hosts;
-    for (std::size_t w = 0; w < kWorkers; ++w) {
-        auto& host = net.add_host("worker" + std::to_string(w));
-        net.connect(host, tor);
-        hosts.push_back(&host);
-    }
-    net.install_routes();
-
-    Controller controller{net, config};
-    controller.register_program(tor.id(), program);
-    std::vector<TreeLayout> layouts;
-    for (std::size_t w = 0; w < kWorkers; ++w) {
-        TreeSpec spec;
-        spec.id = static_cast<TreeId>(w);
-        spec.reducer = hosts[w];
-        // Every worker sends into every tree, including its own
-        // (self-traffic hairpins through the ToR and aggregates there).
-        spec.mappers.clear();
-        for (auto* h : hosts) {
-            if (h != hosts[w]) spec.mappers.push_back(h);
-        }
-        spec.fn = AggFnId::kSumF32;
-        layouts.push_back(controller.setup_tree(spec));
-    }
-
-    const auto owner = [&](VertexId v) { return static_cast<std::size_t>(mix64(v) % kWorkers); };
-
-    // --- PageRank over the wire -------------------------------------------------
-    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
-    std::uint64_t sent_total = 0;
-    std::uint64_t received_total = 0;
-
-    for (std::size_t iter = 0; iter < kIterations; ++iter) {
-        if (iter > 0) {
-            for (std::size_t w = 0; w < kWorkers; ++w) {
-                controller.reset_tree(static_cast<TreeId>(w));
-            }
-        }
-        std::vector<std::unique_ptr<ReducerReceiver>> receivers;
-        for (std::size_t w = 0; w < kWorkers; ++w) {
-            receivers.push_back(std::make_unique<ReducerReceiver>(
-                *hosts[w], config, static_cast<TreeId>(w), AggFnId::kSumF32,
-                layouts[w].reducer_expected_ends));
-        }
-
-        // Each worker scatters rank shares for its own vertices. Local
-        // (same-owner) shares short-circuit in memory; remote shares go
-        // through the switch.
-        std::vector<double> local_acc(n, 0.0);
-        std::vector<std::vector<std::unique_ptr<MapperSender>>> senders(kWorkers);
-        for (std::size_t src_w = 0; src_w < kWorkers; ++src_w) {
-            senders[src_w].resize(kWorkers);
-            for (VertexId v = 0; v < n; ++v) {
-                if (owner(v) != src_w) continue;
-                const auto neighbors = g.out_neighbors(v);
-                if (neighbors.empty()) continue;
-                const auto share =
-                    static_cast<float>(rank[v] / static_cast<double>(neighbors.size()));
-                for (const VertexId dst : neighbors) {
-                    const std::size_t dst_w = owner(dst);
-                    if (dst_w == src_w) {
-                        local_acc[dst] += share;
-                        continue;
-                    }
-                    auto& tx = senders[src_w][dst_w];
-                    if (!tx) {
-                        tx = std::make_unique<MapperSender>(
-                            *hosts[src_w], config, static_cast<TreeId>(dst_w),
-                            hosts[dst_w]->addr());
-                    }
-                    tx->send(KvPair{Key16::from_u64(dst + 1), wire_from_f32(share)});
-                }
-            }
-            for (std::size_t dst_w = 0; dst_w < kWorkers; ++dst_w) {
-                if (senders[src_w][dst_w]) {
-                    senders[src_w][dst_w]->finish();
-                    sent_total += senders[src_w][dst_w]->stats().pairs_sent;
-                } else if (dst_w != src_w) {
-                    // Every tree child must END even without data.
-                    MapperSender empty{*hosts[src_w], config,
-                                       static_cast<TreeId>(dst_w),
-                                       hosts[dst_w]->addr()};
-                    empty.finish();
-                }
-            }
-        }
-        net.run();
-
-        // Fold combined messages into the next rank vector.
-        std::vector<double> sums(std::move(local_acc));
-        for (std::size_t w = 0; w < kWorkers; ++w) {
-            if (!receivers[w]->complete() || !receivers[w]->clean()) {
-                std::fprintf(stderr, "iteration %zu: worker %zu stream incomplete\n",
-                             iter, w);
-                return 1;
-            }
-            received_total += receivers[w]->stats().pairs_received;
-            for (const auto& [key, value] : receivers[w]->aggregated()) {
-                sums[key.to_u64() - 1] += static_cast<double>(f32_from_wire(value));
-            }
-        }
-        for (VertexId v = 0; v < n; ++v) {
-            rank[v] = (1.0 - kDamping) / static_cast<double>(n) + kDamping * sums[v];
-        }
-    }
+    NetworkedPregelEngine<PageRankProgram> engine{cluster, g, kWorkers, {}};
+    engine.run(kIterations + 1);  // n+1 supersteps apply n rank updates
 
     // --- verification -------------------------------------------------------------
-    const auto reference = reference_pagerank(g, kIterations, kDamping);
+    const auto reference = reference_pagerank(g, kIterations);
     double max_err = 0.0;
-    for (VertexId v = 0; v < n; ++v) {
-        max_err = std::max(max_err, std::abs(rank[v] - reference[v]));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        max_err = std::max(max_err, std::abs(engine.values()[v] - reference[v]));
     }
     std::printf("max |rank - reference| after %zu iterations: %.2e "
                 "(f32 wire precision)\n",
                 kIterations, max_err);
-    std::printf("message traffic: %llu sent, %llu delivered after in-network "
+
+    std::uint64_t sent_total = 0;
+    std::uint64_t received_total = 0;
+    std::printf("\n%-9s %-14s %-14s %-10s %s\n", "superstep", "msgs (total)",
+                "wire pairs", "delivered", "realized reduction");
+    for (const auto& step : engine.history()) {
+        sent_total += step.wire_pairs_sent;
+        received_total += step.wire_pairs_received;
+        std::printf("%-9zu %-14llu %-14llu %-10llu %.1f%%\n", step.compute.superstep,
+                    static_cast<unsigned long long>(step.compute.messages_sent),
+                    static_cast<unsigned long long>(step.wire_pairs_sent),
+                    static_cast<unsigned long long>(step.wire_pairs_received),
+                    100.0 * step.realized_wire_reduction());
+    }
+    std::printf("\nmessage traffic: %llu sent, %llu delivered after in-network "
                 "combining (%.1f%% reduction)\n",
                 static_cast<unsigned long long>(sent_total),
                 static_cast<unsigned long long>(received_total),

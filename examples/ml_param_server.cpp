@@ -6,123 +6,44 @@
 // Five workers train a softmax model on synthetic MNIST. Each step,
 // every worker ships its sparse gradient as DAIET pairs (key = tensor
 // index, value = f32 delta) through a programmable ToR that sums them
-// in flight (AggFnId::kSumF32); the parameter server applies Adam to
-// the aggregate and the workers pull fresh parameters out of band.
+// in flight; the parameter server applies Adam to the aggregate. All of
+// the cluster wiring lives in the runtime — this file only picks the
+// training configuration.
 #include <cstdio>
 
-#include "core/controller.hpp"
-#include "core/pipeline_program.hpp"
-#include "core/worker.hpp"
-#include "ml/mnist.hpp"
-#include "ml/model.hpp"
-#include "ml/optimizer.hpp"
-#include "netsim/network.hpp"
+#include "ml/training.hpp"
 
 int main() {
     using namespace daiet;
     using namespace daiet::ml;
 
-    constexpr std::size_t kWorkers = 5;
-    constexpr std::size_t kBatch = 100;
-    constexpr std::size_t kSteps = 30;
-    constexpr TreeId kTree = 1;
+    TrainingConfig config;
+    config.num_workers = 5;
+    config.batch_size = 100;
+    config.steps = 30;
+    config.optimizer = OptimizerKind::kAdam;
+    config.exchange = GradientExchange::kDaietNetwork;  // ship it for real
 
-    // --- cluster: 5 workers + 1 parameter server behind a DAIET ToR ----------
-    sim::Network net;
-    Config config;
-    config.max_trees = 1;
-    dp::SwitchConfig chip_config;
-    chip_config.num_ports = 8;
-    auto& tor = net.add_pipeline_switch("tor", chip_config);
-    auto program = load_daiet_program(config, tor.chip());
+    const TrainingResult result = train_parameter_server(config);
 
-    std::vector<sim::Host*> worker_hosts;
-    for (std::size_t w = 0; w < kWorkers; ++w) {
-        auto& host = net.add_host("worker" + std::to_string(w));
-        net.connect(host, tor);
-        worker_hosts.push_back(&host);
+    std::printf("training: loss %.3f -> %.3f, held-out accuracy %.1f%%\n",
+                result.initial_loss, result.final_loss,
+                100.0 * result.final_accuracy);
+    for (std::size_t s = 9; s < result.steps.size(); s += 10) {
+        const StepStats& step = result.steps[s];
+        std::printf("step %2zu: loss %.3f, overlap %.1f%%, wire %llu -> %llu pairs\n",
+                    step.step + 1, step.loss, 100.0 * step.overlap,
+                    static_cast<unsigned long long>(step.wire_pairs_sent),
+                    static_cast<unsigned long long>(step.wire_pairs_received));
     }
-    auto& ps_host = net.add_host("param-server");
-    net.connect(ps_host, tor);
-    net.install_routes();
-
-    Controller controller{net, config};
-    controller.register_program(tor.id(), program);
-    TreeSpec spec;
-    spec.id = kTree;
-    spec.reducer = &ps_host;
-    spec.mappers = worker_hosts;
-    spec.fn = AggFnId::kSumF32;
-    const TreeLayout& layout = controller.setup_tree(spec);
-
-    // --- training state --------------------------------------------------------
-    const SyntheticMnist dataset{MnistConfig{}};
-    SoftmaxModel model;
-    AdamOptimizer optimizer{kParamCount, 1e-3F};
-    Rng master{7};
-    std::vector<Rng> worker_rngs;
-    for (std::size_t w = 0; w < kWorkers; ++w) worker_rngs.push_back(master.fork());
-    Rng eval_rng = master.fork();
-    std::vector<Sample> eval_set;
-    for (int i = 0; i < 256; ++i) eval_set.push_back(dataset.sample(eval_rng));
-
-    std::printf("initial: loss %.3f, accuracy %.1f%%\n", model.loss(eval_set),
-                100.0 * model.accuracy(eval_set));
-
-    std::uint64_t pairs_sent_total = 0;
-    std::uint64_t pairs_received_total = 0;
-
-    for (std::size_t step = 0; step < kSteps; ++step) {
-        if (step > 0) controller.reset_tree(kTree);
-        ReducerReceiver rx{ps_host, config, kTree, AggFnId::kSumF32,
-                           layout.reducer_expected_ends};
-
-        // Workers compute sparse gradients and ship them through DAIET.
-        // Keys are tensor indices + 1 (the all-zero key is the
-        // empty-cell sentinel).
-        for (std::size_t w = 0; w < kWorkers; ++w) {
-            std::vector<Sample> batch;
-            for (std::size_t b = 0; b < kBatch; ++b) {
-                batch.push_back(dataset.sample(worker_rngs[w]));
-            }
-            const SparseGradient grad = model.gradient(batch);
-            MapperSender tx{*worker_hosts[w], config, kTree, ps_host.addr()};
-            for (std::size_t i = 0; i < grad.size(); ++i) {
-                tx.send(KvPair{Key16::from_u64(grad.indices[i] + 1),
-                               wire_from_f32(grad.values[i])});
-            }
-            tx.finish();
-            pairs_sent_total += tx.stats().pairs_sent;
-        }
-        net.run();
-        if (!rx.complete() || !rx.clean()) {
-            std::fprintf(stderr, "gradient stream incomplete at step %zu\n", step);
-            return 1;
-        }
-        pairs_received_total += rx.stats().pairs_received;
-
-        // The parameter server applies Adam to the in-network aggregate.
-        SparseGradient combined;
-        for (const KvPair& p : rx.sorted_result()) {
-            combined.indices.push_back(static_cast<std::uint32_t>(p.key.to_u64() - 1));
-            combined.values.push_back(f32_from_wire(p.value) /
-                                      static_cast<float>(kWorkers));
-        }
-        optimizer.apply(model.parameters(), combined);
-
-        if ((step + 1) % 10 == 0) {
-            std::printf("step %2zu: loss %.3f, accuracy %.1f%%\n", step + 1,
-                        model.loss(eval_set), 100.0 * model.accuracy(eval_set));
-        }
-    }
-
     std::printf(
         "\ngradient traffic: workers sent %llu pairs; the parameter server "
-        "received %llu (%.1f%% reduced in-network)\n",
-        static_cast<unsigned long long>(pairs_sent_total),
-        static_cast<unsigned long long>(pairs_received_total),
-        100.0 * (1.0 - static_cast<double>(pairs_received_total) /
-                           static_cast<double>(pairs_sent_total)));
+        "received %llu (%.1f%% reduced in-network; Figure 1(b) predicted "
+        "%.1f%% from update overlap)\n",
+        static_cast<unsigned long long>(result.wire_pairs_sent),
+        static_cast<unsigned long long>(result.wire_pairs_received),
+        100.0 * result.realized_traffic_reduction,
+        100.0 * result.mean_traffic_reduction);
     std::printf("note: f32 summation order differs from serial execution; "
                 "training is robust to it (accuracy above), exact bitwise "
                 "reproducibility is not promised for float trees\n");

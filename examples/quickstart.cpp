@@ -3,87 +3,66 @@
 //   3 mappers --+
 //   (hosts)     +--> programmable ToR switch --> 1 reducer
 //               |    (Algorithm 1 in the        (collects the
-//   controller -+     dataplane pipeline)        aggregate)
+//   runtime  ---+     dataplane pipeline)        aggregate)
 //
 // Each mapper streams word counts for the same small vocabulary; the
 // switch folds them in flight, so the reducer receives each distinct
-// word exactly once.
+// word exactly once. ClusterRuntime owns all the wiring (network,
+// switch program, controller); JobDriver runs the round.
 //
-// Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/quickstart
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/quickstart
 #include <cstdio>
 
-#include "core/controller.hpp"
-#include "core/pipeline_program.hpp"
-#include "core/worker.hpp"
-#include "netsim/network.hpp"
+#include "runtime/job_driver.hpp"
 
 int main() {
     using namespace daiet;
 
-    // --- build the network ---------------------------------------------------
-    sim::Network net;
-    Config config;           // paper defaults: 16K registers, 10 pairs/packet
-    config.max_trees = 1;    // one aggregation tree is enough here
+    // --- cluster: 3 mappers + 1 reducer behind one programmable ToR ----------
+    rt::ClusterOptions options;            // paper defaults: 16K registers,
+    options.num_hosts = 4;                 // 10 pairs/packet
+    options.config.max_trees = 1;          // one aggregation tree is enough here
+    rt::ClusterRuntime cluster{options};
 
-    dp::SwitchConfig chip_config;
-    chip_config.num_ports = 8;
-    auto& tor = net.add_pipeline_switch("tor", chip_config);
-    auto program = load_daiet_program(config, tor.chip());
-
-    std::vector<sim::Host*> mappers;
-    for (int i = 0; i < 3; ++i) {
-        auto& host = net.add_host("mapper" + std::to_string(i));
-        net.connect(host, tor);
-        mappers.push_back(&host);
-    }
-    auto& reducer = net.add_host("reducer");
-    net.connect(reducer, tor);
-    net.install_routes();
-
-    // --- controller: one aggregation tree rooted at the reducer ---------------
-    Controller controller{net, config};
-    controller.register_program(tor.id(), program);
-    TreeSpec spec;
-    spec.id = 1;
-    spec.reducer = &reducer;
-    spec.mappers = mappers;
-    spec.fn = AggFnId::kSumI32;
-    const TreeLayout& layout = controller.setup_tree(spec);
+    // --- one aggregation group: mappers h0..h2 feed the tree rooted at h3 ----
+    rt::JobSpec spec;
+    spec.name = "quickstart";
+    rt::JobGroup group;
+    group.reducer = &cluster.host(3);
+    group.mappers = {&cluster.host(0), &cluster.host(1), &cluster.host(2)};
+    group.fn = AggFnId::kSumI32;
+    spec.groups.push_back(group);
+    rt::JobDriver driver{cluster, spec};
 
     // --- application traffic --------------------------------------------------
-    ReducerReceiver rx{reducer, config, spec.id, spec.fn,
-                       layout.reducer_expected_ends};
-    rx.on_complete = [] { std::puts("reducer: stream complete\n"); };
-
     const char* words[] = {"switch", "network", "aggregate", "switch", "network",
                            "switch"};
-    for (auto* mapper : mappers) {
-        MapperSender tx{*mapper, config, spec.id, reducer.addr()};
-        for (const char* word : words) {
-            tx.send(KvPair{Key16{word}, wire_from_i32(1)});
-        }
-        tx.finish();  // flush + END marker
-    }
-
-    net.run();
+    const rt::RoundStats round = driver.run_round(
+        [&words](std::size_t /*group*/, std::size_t /*mapper*/, MapperSender& tx) {
+            for (const char* word : words) {
+                tx.send(KvPair{Key16{word}, wire_from_i32(1)});
+            }
+        },
+        [](std::size_t /*group*/, ReducerReceiver& rx) {
+            std::puts("reducer: stream complete\n");
+            std::printf("%-12s %s\n", "word", "count");
+            for (const KvPair& p : rx.sorted_result()) {
+                std::printf("%-12s %d\n", p.key.to_string().c_str(),
+                            i32_from_wire(p.value));
+            }
+        });
 
     // --- results ---------------------------------------------------------------
-    std::printf("%-12s %s\n", "word", "count");
-    for (const KvPair& p : rx.sorted_result()) {
-        std::printf("%-12s %d\n", p.key.to_string().c_str(),
-                    i32_from_wire(p.value));
-    }
-
-    const auto& stats = program->tree_stats(spec.id);
+    const auto* program = cluster.program_at(cluster.daiet_switches()[0]->id());
+    const auto& stats = program->tree_stats(driver.tree(0));
     std::printf(
         "\nin-network aggregation: %llu pairs entered the switch, "
         "%llu left it (%.1f%% traffic reduction)\n",
         static_cast<unsigned long long>(stats.pairs_in),
         static_cast<unsigned long long>(stats.pairs_out),
-        100.0 * (1.0 - static_cast<double>(stats.pairs_out) /
-                           static_cast<double>(stats.pairs_in)));
-    std::printf("stream verified clean (loss detection): %s\n",
-                rx.clean() ? "yes" : "NO");
+        100.0 * round.traffic_reduction());
+    std::printf("round verified clean (loss detection) in %zu attempt(s)\n",
+                round.attempts);
     return 0;
 }

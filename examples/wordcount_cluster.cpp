@@ -2,9 +2,10 @@
 // library user would run it: one call per shuffle transport, then a
 // side-by-side comparison.
 //
-// Usage: wordcount_cluster [total_words] [vocabulary]
+// Usage: wordcount_cluster [total_words] [vocabulary] [star|leaf-spine|fat-tree]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/table.hpp"
@@ -19,8 +20,16 @@ int main(int argc, char** argv) {
     cc.vocabulary_size = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 36'000;
     cc.num_mappers = 12;
     cc.num_reducers = 6;
-    std::printf("generating corpus: %zu words, %zu distinct, %zu mappers, %zu reducers\n",
-                cc.total_words, cc.vocabulary_size, cc.num_mappers, cc.num_reducers);
+    rt::TopologyKind topology = rt::TopologyKind::kStar;
+    if (argc > 3 && std::strcmp(argv[3], "leaf-spine") == 0) {
+        topology = rt::TopologyKind::kLeafSpine;
+    } else if (argc > 3 && std::strcmp(argv[3], "fat-tree") == 0) {
+        topology = rt::TopologyKind::kFatTree;
+    }
+    std::printf("generating corpus: %zu words, %zu distinct, %zu mappers, "
+                "%zu reducers (%s fabric)\n",
+                cc.total_words, cc.vocabulary_size, cc.num_mappers, cc.num_reducers,
+                std::string{rt::to_string(topology)}.c_str());
     const Corpus corpus{cc};
 
     TextTable table{{"shuffle transport", "payload@reducers (B)", "frames@reducers",
@@ -30,6 +39,9 @@ int main(int argc, char** argv) {
         JobOptions options;
         options.mode = mode;
         options.daiet.max_trees = cc.num_reducers;
+        options.topology = topology;
+        // 18 hosts overflow a k=4 fat tree (16 slots); k=6 offers 54.
+        if (topology == rt::TopologyKind::kFatTree) options.fat_tree_k = 6;
         const auto result = run_wordcount_job(corpus, options);
 
         double reduce_ms = 0.0;

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/aggregation.hpp"
 #include "graph/pregel.hpp"
 
 namespace daiet::graph {
@@ -19,6 +20,16 @@ struct PageRankProgram {
     using Value = double;
     using Message = double;
     static constexpr bool kAlwaysActive = true;
+
+    /// Wire codec for in-network combining (rank shares travel as f32,
+    /// the value width the paper's k-v format carries).
+    static constexpr AggFnId kWireFn = AggFnId::kSumF32;
+    static WireValue encode(Message m) noexcept {
+        return wire_from_f32(static_cast<float>(m));
+    }
+    static Message decode(WireValue w) noexcept {
+        return static_cast<Message>(f32_from_wire(w));
+    }
 
     double damping{0.85};
 
@@ -54,6 +65,12 @@ struct SsspProgram {
     using Message = std::uint32_t;
     static constexpr bool kAlwaysActive = false;
     static constexpr Value kInfinity = std::numeric_limits<Value>::max();
+
+    /// Distances travel as signed min; kInfinity never travels (only
+    /// reached vertices relax), so values stay in the positive range.
+    static constexpr AggFnId kWireFn = AggFnId::kMinI32;
+    static WireValue encode(Message m) noexcept { return static_cast<WireValue>(m); }
+    static Message decode(WireValue w) noexcept { return static_cast<Message>(w); }
 
     VertexId source{0};
 
@@ -91,6 +108,12 @@ struct WccProgram {
     using Value = VertexId;
     using Message = VertexId;
     static constexpr bool kAlwaysActive = false;
+
+    /// Labels are vertex ids (< 2^31 for any graph we can hold), so the
+    /// signed min matches the program's combiner exactly.
+    static constexpr AggFnId kWireFn = AggFnId::kMinI32;
+    static WireValue encode(Message m) noexcept { return static_cast<WireValue>(m); }
+    static Message decode(WireValue w) noexcept { return static_cast<Message>(w); }
 
     Value init(VertexId v, const Graph&) const { return v; }
 

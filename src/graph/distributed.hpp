@@ -1,0 +1,223 @@
+// Networked Pregel supersteps: the same bulk-synchronous engine as
+// pregel.hpp, but every message that crosses a worker boundary actually
+// travels the simulated fabric as a DAIET key-value pair (key = destination
+// vertex id + 1, value = the program's wire-encoded message) and is
+// combined *inside the network* by the switches, exactly the deployment
+// the paper's §3 analysis prices out.
+//
+// Per superstep the engine runs one JobDriver round over `num_workers`
+// aggregation trees — tree w roots at worker w's host and is fed by all
+// other workers — so SuperstepStats' *potential* reduction (Figure 1(c))
+// gets a measured, on-the-wire counterpart in `wire_pairs_*`.
+//
+// Programs must extend the pregel.hpp concept with a wire codec:
+//   static constexpr AggFnId kWireFn;        // matches combine()
+//   static WireValue encode(const Message&);
+//   static Message decode(WireValue);
+// (algorithms.hpp's PageRank / SSSP / WCC all qualify.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/hash.hpp"
+#include "graph/graph.hpp"
+#include "graph/pregel.hpp"
+#include "runtime/job_driver.hpp"
+
+namespace daiet::graph {
+
+struct NetworkedSuperstepStats {
+    /// Message accounting identical to the in-memory engine's.
+    SuperstepStats compute;
+    /// Remote messages below the first switch / at the destination NIC.
+    std::uint64_t wire_pairs_sent{0};
+    std::uint64_t wire_pairs_received{0};
+
+    /// Measured counterpart of SuperstepStats::traffic_reduction().
+    double realized_wire_reduction() const noexcept {
+        return wire_pairs_sent == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(wire_pairs_received) /
+                               static_cast<double>(wire_pairs_sent);
+    }
+};
+
+template <typename Program>
+class NetworkedPregelEngine {
+public:
+    using Value = typename Program::Value;
+    using Message = typename Program::Message;
+
+    class Context {
+    public:
+        void send(VertexId dst, const Message& msg) { engine_->deliver(src_, dst, msg); }
+
+        void send_to_out_neighbors(const Message& msg) {
+            for (const VertexId dst : engine_->graph_->out_neighbors(src_)) {
+                engine_->deliver(src_, dst, msg);
+            }
+        }
+
+        std::size_t superstep() const noexcept { return engine_->superstep_; }
+        const Graph& graph() const noexcept { return *engine_->graph_; }
+
+    private:
+        friend class NetworkedPregelEngine;
+        Context(NetworkedPregelEngine* engine, VertexId src)
+            : engine_{engine}, src_{src} {}
+        NetworkedPregelEngine* engine_;
+        VertexId src_;
+    };
+
+    /// Workers map onto `cluster.host(0 .. num_workers-1)`; the cluster
+    /// pool must have `num_workers` tree ids free (one tree per worker).
+    NetworkedPregelEngine(rt::ClusterRuntime& cluster, const Graph& g,
+                          std::size_t num_workers, Program program)
+        : cluster_{&cluster}, graph_{&g}, num_workers_{num_workers},
+          program_{std::move(program)} {
+        DAIET_EXPECTS(num_workers_ >= 2);
+        DAIET_EXPECTS(cluster_->hosts().size() >= num_workers_);
+
+        rt::JobSpec spec;
+        spec.name = "pregel";
+        for (std::size_t w = 0; w < num_workers_; ++w) {
+            rt::JobGroup group;
+            group.reducer = &cluster_->host(w);
+            for (std::size_t o = 0; o < num_workers_; ++o) {
+                if (o != w) group.mappers.push_back(&cluster_->host(o));
+            }
+            group.fn = Program::kWireFn;
+            spec.groups.push_back(std::move(group));
+        }
+        driver_ = std::make_unique<rt::JobDriver>(*cluster_, std::move(spec));
+
+        const std::size_t n = g.num_vertices();
+        values_.reserve(n);
+        for (VertexId v = 0; v < n; ++v) values_.push_back(program_.init(v, g));
+        inbox_.assign(n, std::nullopt);
+        next_inbox_.assign(n, std::nullopt);
+        dest_seen_.assign(n, 0);
+        remote_seen_.assign(n, 0);
+        outbox_.assign(num_workers_ * num_workers_, {});
+    }
+
+    std::size_t worker_of(VertexId v) const noexcept {
+        return static_cast<std::size_t>(mix64(v) % num_workers_);
+    }
+
+    /// Execute one superstep: compute every active vertex, then run one
+    /// aggregation round that ships all boundary-crossing messages
+    /// through the fabric.
+    NetworkedSuperstepStats step() {
+        stats_ = NetworkedSuperstepStats{};
+        stats_.compute.superstep = superstep_;
+        ++epoch_;
+
+        const std::size_t n = graph_->num_vertices();
+        for (VertexId v = 0; v < n; ++v) {
+            const bool has_message = inbox_[v].has_value();
+            if (!Program::kAlwaysActive && superstep_ > 0 && !has_message) continue;
+            ++stats_.compute.active_vertices;
+            Context ctx{this, v};
+            program_.compute(ctx, v, values_[v], inbox_[v]);
+        }
+        for (VertexId v = 0; v < n; ++v) inbox_[v].reset();
+
+        exchange();
+
+        std::swap(inbox_, next_inbox_);
+        ++superstep_;
+        history_.push_back(stats_);
+        return stats_;
+    }
+
+    /// Run until `max_supersteps` or quiescence. Returns per-superstep
+    /// stats (also available via history()).
+    std::vector<NetworkedSuperstepStats> run(std::size_t max_supersteps) {
+        for (std::size_t s = 0; s < max_supersteps; ++s) {
+            const NetworkedSuperstepStats st = step();
+            if (!Program::kAlwaysActive && st.compute.messages_sent == 0) break;
+        }
+        return history_;
+    }
+
+    const std::vector<Value>& values() const noexcept { return values_; }
+    const std::vector<NetworkedSuperstepStats>& history() const noexcept {
+        return history_;
+    }
+    std::size_t superstep() const noexcept { return superstep_; }
+    rt::JobDriver& driver() noexcept { return *driver_; }
+
+private:
+    void deliver(VertexId src, VertexId dst, const Message& msg) {
+        DAIET_EXPECTS(dst < graph_->num_vertices());
+        ++stats_.compute.messages_sent;
+        if (dest_seen_[dst] != epoch_) {
+            dest_seen_[dst] = epoch_;
+            ++stats_.compute.distinct_destinations;
+        }
+        const std::size_t src_w = worker_of(src);
+        const std::size_t dst_w = worker_of(dst);
+        if (src_w == dst_w) {
+            merge_into_next(dst, msg);
+            return;
+        }
+        ++stats_.compute.remote_messages;
+        if (remote_seen_[dst] != epoch_) {
+            remote_seen_[dst] = epoch_;
+            ++stats_.compute.remote_distinct_destinations;
+        }
+        outbox_[src_w * num_workers_ + dst_w].emplace_back(dst, msg);
+    }
+
+    void merge_into_next(VertexId dst, const Message& msg) {
+        auto& slot = next_inbox_[dst];
+        slot = slot.has_value() ? program_.combine(*slot, msg) : msg;
+    }
+
+    void exchange() {
+        const rt::RoundStats round = driver_->run_round(
+            [this](std::size_t group, std::size_t mapper, MapperSender& tx) {
+                // Group g's mappers are the workers in order, skipping g.
+                const std::size_t src_w = mapper < group ? mapper : mapper + 1;
+                for (const auto& [dst, msg] : outbox_[src_w * num_workers_ + group]) {
+                    tx.send(KvPair{Key16::from_u64(dst + 1), Program::encode(msg)});
+                }
+            },
+            [this](std::size_t /*group*/, ReducerReceiver& rx) {
+                for (const auto& [key, value] : rx.aggregated()) {
+                    merge_into_next(static_cast<VertexId>(key.to_u64() - 1),
+                                    Program::decode(value));
+                }
+            });
+        stats_.wire_pairs_sent = round.pairs_sent;
+        stats_.wire_pairs_received = round.pairs_received;
+        for (auto& bucket : outbox_) bucket.clear();
+    }
+
+    rt::ClusterRuntime* cluster_;
+    const Graph* graph_;
+    std::size_t num_workers_;
+    Program program_;
+    std::unique_ptr<rt::JobDriver> driver_;
+
+    std::vector<Value> values_;
+    std::vector<std::optional<Message>> inbox_;
+    std::vector<std::optional<Message>> next_inbox_;
+    /// Per (src_worker * num_workers + dst_worker): boundary-crossing
+    /// messages buffered during compute, shipped by exchange().
+    std::vector<std::vector<std::pair<VertexId, Message>>> outbox_;
+    std::vector<std::uint32_t> dest_seen_;
+    std::vector<std::uint32_t> remote_seen_;
+    std::uint32_t epoch_{0};
+    NetworkedSuperstepStats stats_;
+    std::vector<NetworkedSuperstepStats> history_;
+    std::size_t superstep_{0};
+};
+
+}  // namespace daiet::graph

@@ -6,14 +6,11 @@
 #include <stdexcept>
 
 #include "common/contracts.hpp"
-#include "core/controller.hpp"
-#include "core/pipeline_program.hpp"
-#include "core/worker.hpp"
 #include "mapreduce/collector.hpp"
 #include "mapreduce/record.hpp"
 #include "mapreduce/reduce.hpp"
 #include "mapreduce/wordcount.hpp"
-#include "netsim/network.hpp"
+#include "runtime/job_driver.hpp"
 
 namespace daiet::mr {
 
@@ -21,122 +18,59 @@ namespace {
 
 constexpr std::uint16_t kTcpShufflePort = 6000;
 
+/// Cluster + role assignment. All fabric wiring (switch programs,
+/// controller, tree layout) lives in the runtime; this struct only maps
+/// host slots onto mapper/reducer roles.
 struct Cluster {
-    std::unique_ptr<sim::Network> net;
+    std::unique_ptr<rt::ClusterRuntime> runtime;
     std::vector<sim::Host*> mappers;
     std::vector<sim::Host*> reducers;
-    std::vector<sim::PipelineSwitchNode*> daiet_switches;
-    std::vector<std::shared_ptr<DaietSwitchProgram>> programs;
-    std::unique_ptr<Controller> controller;
-    std::vector<std::uint32_t> expected_ends;  // per reducer
-
-    explicit Cluster(std::uint64_t seed)
-        : net{std::make_unique<sim::Network>(seed)} {}
+    /// One aggregation group per reducer; absent for the TCP baseline,
+    /// which shuffles over connections instead of trees.
+    std::unique_ptr<rt::JobDriver> driver;
 };
 
-/// Interleave reducers evenly among the host slots so that leaf-spine
+/// Interleave reducers evenly among the host slots so that multi-rack
 /// placements spread both roles across racks.
 bool is_reducer_slot(std::size_t i, std::size_t total, std::size_t reducers) {
     return (i + 1) * reducers / total > i * reducers / total;
-}
-
-dp::SwitchConfig switch_config_for(const JobOptions& o, std::size_t ports) {
-    dp::SwitchConfig cfg;
-    cfg.num_ports = static_cast<std::uint16_t>(ports + 2);
-    // SRAM sized like the paper's estimate: ~10 MB of register state is
-    // "a reasonable amount of memory for a hardware P4 switch" (§5);
-    // give the chip 2 MiB of headroom for the flow tables.
-    const std::size_t per_tree =
-        o.daiet.register_size * (Key16::width + sizeof(WireValue) + sizeof(std::uint32_t)) +
-        o.daiet.spillover_capacity * sizeof(KvPair) + 64;
-    cfg.sram_bytes = o.daiet.max_trees * per_tree + (2u << 20);
-    return cfg;
 }
 
 Cluster build_cluster(const Corpus& corpus, const JobOptions& o) {
     const std::size_t m = corpus.config().num_mappers;
     const std::size_t r = corpus.config().num_reducers;
     const std::size_t total = m + r;
-    Cluster c{o.seed};
 
-    const bool daiet_mode = o.mode == ShuffleMode::kDaiet;
-    std::vector<sim::Node*> edge_switches;
+    rt::ClusterOptions copts;
+    copts.topology = o.topology;
+    copts.num_hosts = total;
+    copts.n_leaf = o.n_leaf;
+    copts.n_spine = o.n_spine;
+    copts.fat_tree_k = o.fat_tree_k;
+    copts.daiet = o.mode == ShuffleMode::kDaiet;
+    copts.config = o.daiet;
+    copts.link = o.link;
+    copts.seed = o.seed;
 
-    if (!o.leaf_spine) {
-        sim::Node* tor = nullptr;
-        if (daiet_mode) {
-            auto& sw = c.net->add_pipeline_switch("tor", switch_config_for(o, total));
-            c.programs.push_back(load_daiet_program(o.daiet, sw.chip()));
-            c.daiet_switches.push_back(&sw);
-            tor = &sw;
-        } else {
-            tor = &c.net->add_l2_switch("tor");
-        }
-        edge_switches.assign(total, tor);
-    } else {
-        DAIET_EXPECTS(o.n_leaf > 0 && o.n_spine > 0);
-        std::vector<sim::Node*> leaves;
-        std::vector<sim::Node*> spines;
-        const std::size_t hosts_per_leaf = (total + o.n_leaf - 1) / o.n_leaf;
-        for (std::size_t s = 0; s < o.n_spine; ++s) {
-            if (daiet_mode) {
-                auto& sw = c.net->add_pipeline_switch(
-                    "spine" + std::to_string(s), switch_config_for(o, o.n_leaf));
-                c.programs.push_back(load_daiet_program(o.daiet, sw.chip()));
-                c.daiet_switches.push_back(&sw);
-                spines.push_back(&sw);
-            } else {
-                spines.push_back(&c.net->add_l2_switch("spine" + std::to_string(s)));
-            }
-        }
-        for (std::size_t l = 0; l < o.n_leaf; ++l) {
-            sim::Node* leaf = nullptr;
-            if (daiet_mode) {
-                auto& sw = c.net->add_pipeline_switch(
-                    "leaf" + std::to_string(l),
-                    switch_config_for(o, hosts_per_leaf + o.n_spine));
-                c.programs.push_back(load_daiet_program(o.daiet, sw.chip()));
-                c.daiet_switches.push_back(&sw);
-                leaf = &sw;
-            } else {
-                leaf = &c.net->add_l2_switch("leaf" + std::to_string(l));
-            }
-            for (sim::Node* spine : spines) c.net->connect(*leaf, *spine, o.link);
-            leaves.push_back(leaf);
-        }
-        edge_switches.resize(total);
-        for (std::size_t i = 0; i < total; ++i) {
-            edge_switches[i] = leaves[i / hosts_per_leaf];
-        }
-    }
-
+    Cluster c;
+    c.runtime = std::make_unique<rt::ClusterRuntime>(copts);
     for (std::size_t i = 0; i < total; ++i) {
-        const bool reducer = is_reducer_slot(i, total, r);
-        auto& host = c.net->add_host((reducer ? "reducer" : "mapper") +
-                                    std::to_string(reducer ? c.reducers.size()
-                                                           : c.mappers.size()));
-        c.net->connect(host, *edge_switches[i], o.link);
-        (reducer ? c.reducers : c.mappers).push_back(&host);
+        (is_reducer_slot(i, total, r) ? c.reducers : c.mappers)
+            .push_back(&c.runtime->host(i));
     }
     DAIET_EXPECTS(c.mappers.size() == m && c.reducers.size() == r);
 
-    c.net->install_routes();
-
-    c.expected_ends.assign(r, static_cast<std::uint32_t>(m));
-    if (daiet_mode) {
-        c.controller = std::make_unique<Controller>(*c.net, o.daiet);
-        for (std::size_t i = 0; i < c.daiet_switches.size(); ++i) {
-            c.controller->register_program(c.daiet_switches[i]->id(), c.programs[i]);
-        }
+    if (o.mode != ShuffleMode::kTcpBaseline) {
+        rt::JobSpec spec;
+        spec.name = "wordcount";
         for (std::size_t t = 0; t < r; ++t) {
-            TreeSpec spec;
-            spec.id = static_cast<TreeId>(t);
-            spec.reducer = c.reducers[t];
-            spec.mappers = c.mappers;
-            spec.fn = AggFnId::kSumI32;
-            const TreeLayout& layout = c.controller->setup_tree(spec);
-            c.expected_ends[t] = layout.reducer_expected_ends;
+            rt::JobGroup group;
+            group.reducer = c.reducers[t];
+            group.mappers = c.mappers;
+            group.fn = AggFnId::kSumI32;
+            spec.groups.push_back(std::move(group));
         }
+        c.driver = std::make_unique<rt::JobDriver>(*c.runtime, std::move(spec));
     }
     return c;
 }
@@ -178,42 +112,30 @@ void finalize_reducer(JobResult& result, const Cluster& c, std::size_t r,
 
 void run_udp_shuffle(JobResult& result, Cluster& c,
                      const std::vector<MapOutput>& maps, const JobOptions& o) {
-    const std::size_t m = c.mappers.size();
+    rt::JobDriver& driver = *c.driver;
     const std::size_t r = c.reducers.size();
 
+    driver.begin_round();
+    // Raw collectors instead of the driver's ReducerReceivers: Figure 3
+    // times the reduce step over the raw received payloads separately.
     std::vector<std::unique_ptr<RawCollector>> collectors;
     collectors.reserve(r);
     for (std::size_t i = 0; i < r; ++i) {
         collectors.push_back(std::make_unique<RawCollector>(
-            *c.reducers[i], o.daiet, static_cast<TreeId>(i), c.expected_ends[i]));
+            *c.reducers[i], o.daiet, driver.tree(i), driver.expected_ends(i)));
     }
 
-    // One sender per (mapper, tree); mappers start staggered by 1 us.
-    std::vector<std::vector<MapperSender>> senders(m);
-    for (std::size_t mi = 0; mi < m; ++mi) {
-        senders[mi].reserve(r);
-        for (std::size_t ri = 0; ri < r; ++ri) {
-            senders[mi].emplace_back(*c.mappers[mi], o.daiet, static_cast<TreeId>(ri),
-                                     c.reducers[ri]->addr());
-        }
-    }
-    for (std::size_t mi = 0; mi < m; ++mi) {
-        c.net->simulator().schedule_at(
-            static_cast<sim::SimTime>(mi) * sim::kMicrosecond, [&, mi] {
-                for (std::size_t ri = 0; ri < r; ++ri) {
-                    senders[mi][ri].send_serialized(maps[mi].partitions[ri].bytes());
-                    senders[mi][ri].finish();
-                }
-            });
-    }
-
-    result.sim_duration = c.net->run();
+    driver.schedule_sends([&maps](std::size_t group, std::size_t mapper,
+                                  MapperSender& tx) {
+        tx.send_serialized(maps[mapper].partitions[group].bytes());
+    });
+    result.sim_duration = driver.run_to_quiescence();
 
     for (std::size_t i = 0; i < r; ++i) {
         if (!collectors[i]->complete()) {
             throw std::runtime_error{"WordCount: reducer " + std::to_string(i) +
                                      " saw only " + std::to_string(collectors[i]->ends()) +
-                                     "/" + std::to_string(c.expected_ends[i]) +
+                                     "/" + std::to_string(driver.expected_ends(i)) +
                                      " END packets"};
         }
         if (!collectors[i]->clean()) {
@@ -275,7 +197,7 @@ void run_tcp_shuffle(JobResult& result, Cluster& c,
     }
 
     for (std::size_t mi = 0; mi < m; ++mi) {
-        c.net->simulator().schedule_at(
+        c.runtime->simulator().schedule_at(
             static_cast<sim::SimTime>(mi) * sim::kMicrosecond, [&, mi] {
                 for (std::size_t ri = 0; ri < r; ++ri) {
                     auto& conn =
@@ -294,7 +216,7 @@ void run_tcp_shuffle(JobResult& result, Cluster& c,
             });
     }
 
-    result.sim_duration = c.net->run();
+    result.sim_duration = c.runtime->run();
 
     for (std::size_t ri = 0; ri < r; ++ri) {
         if (closed_count[ri] != m) {
@@ -328,7 +250,10 @@ void run_tcp_shuffle(JobResult& result, Cluster& c,
 JobResult run_wordcount_job(const Corpus& corpus, const JobOptions& options) {
     const std::size_t m = corpus.config().num_mappers;
     const std::size_t r = corpus.config().num_reducers;
-    DAIET_EXPECTS(r <= options.daiet.max_trees || options.mode != ShuffleMode::kDaiet);
+    // DAIET mode leases one switch register slot per reducer; the
+    // baselines' tree ids are plain stream labels with no such limit.
+    DAIET_EXPECTS(r <= options.daiet.max_trees ||
+                  options.mode != ShuffleMode::kDaiet);
 
     // --- map phase ----------------------------------------------------------
     std::vector<MapOutput> maps;
@@ -353,11 +278,8 @@ JobResult run_wordcount_job(const Corpus& corpus, const JobOptions& options) {
     }
 
     std::sort(result.output.begin(), result.output.end());
-    for (const auto* sw : cluster.daiet_switches) {
-        result.switch_recirculations += sw->chip().stats().recirculations;
-        result.switch_sram_used_bytes =
-            std::max(result.switch_sram_used_bytes, sw->chip().sram().used_bytes());
-    }
+    result.switch_recirculations = cluster.runtime->total_recirculations();
+    result.switch_sram_used_bytes = cluster.runtime->max_switch_sram_used();
     return result;
 }
 

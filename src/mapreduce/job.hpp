@@ -25,6 +25,7 @@
 #include "mapreduce/corpus.hpp"
 #include "netsim/link.hpp"
 #include "netsim/time.hpp"
+#include "runtime/cluster.hpp"
 
 namespace daiet::mr {
 
@@ -53,11 +54,13 @@ struct JobOptions {
     bool baseline_merge_reducer{false};
     sim::LinkParams link{};
     std::uint64_t seed{7};
-    /// Use a 2-tier leaf-spine fabric instead of a single ToR
-    /// (ablation A5: multi-level aggregation trees).
-    bool leaf_spine{false};
+    /// Fabric shape (ablation A5: multi-level aggregation trees). The
+    /// default single-ToR star is the paper's Figure 3 testbed; the
+    /// leaf-spine and fat-tree fabrics aggregate at every hop.
+    rt::TopologyKind topology{rt::TopologyKind::kStar};
     std::size_t n_leaf{4};
     std::size_t n_spine{2};
+    std::size_t fat_tree_k{4};
 };
 
 struct ReducerMetrics {

@@ -1,9 +1,11 @@
 #include "ml/training.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 
 #include "common/contracts.hpp"
+#include "runtime/job_driver.hpp"
 
 namespace daiet::ml {
 
@@ -29,6 +31,31 @@ TrainingResult train_parameter_server(const TrainingConfig& config) {
     DAIET_EXPECTS(config.num_workers >= 1);
     DAIET_EXPECTS(config.batch_size >= 1);
     DAIET_EXPECTS(config.steps >= 1);
+
+    // Gradient-exchange substrate: one host per worker plus the
+    // parameter server behind a programmable fabric, with a single
+    // float-sum aggregation tree rooted at the server.
+    std::unique_ptr<rt::ClusterRuntime> cluster;
+    std::unique_ptr<rt::JobDriver> driver;
+    if (config.exchange == GradientExchange::kDaietNetwork) {
+        rt::ClusterOptions copts;
+        copts.topology = config.topology;
+        copts.num_hosts = config.num_workers + 1;
+        copts.config.max_trees = 1;
+        copts.seed = config.seed;
+        cluster = std::make_unique<rt::ClusterRuntime>(copts);
+
+        rt::JobSpec spec;
+        spec.name = "param-server";
+        rt::JobGroup group;
+        group.reducer = &cluster->host(config.num_workers);
+        for (std::size_t w = 0; w < config.num_workers; ++w) {
+            group.mappers.push_back(&cluster->host(w));
+        }
+        group.fn = AggFnId::kSumF32;
+        spec.groups.push_back(std::move(group));
+        driver = std::make_unique<rt::JobDriver>(*cluster, std::move(spec));
+    }
 
     const SyntheticMnist dataset{config.data};
     SoftmaxModel model;
@@ -105,14 +132,39 @@ TrainingResult train_parameter_server(const TrainingConfig& config) {
                 ? 0.0
                 : 1.0 - static_cast<double>(once) / static_cast<double>(total_updates);
         stats.loss = step_loss / static_cast<double>(config.num_workers);
-        result.steps.push_back(stats);
 
-        // Server-side aggregation: vector addition of the sparse
-        // updates (the combiner DAIET would run in-network), averaged.
+        // Aggregation: vector addition of the sparse updates, averaged.
+        // In-memory the sum runs at the server; on the network the
+        // fabric sums the pairs in flight and the server only decodes
+        // (the map restores index order, which the wire does not keep).
         std::map<std::uint32_t, float> aggregated;
-        for (const auto& g : grads) {
-            for (std::size_t i = 0; i < g.size(); ++i) {
-                aggregated[g.indices[i]] += g.values[i];
+        if (driver) {
+            driver->run_round(
+                [&grads](std::size_t /*group*/, std::size_t worker, MapperSender& tx) {
+                    const SparseGradient& g = grads[worker];
+                    // Keys are tensor indices + 1: the all-zero key is
+                    // the empty-register sentinel.
+                    for (std::size_t i = 0; i < g.size(); ++i) {
+                        tx.send(KvPair{Key16::from_u64(g.indices[i] + 1),
+                                       wire_from_f32(g.values[i])});
+                    }
+                },
+                [&aggregated](std::size_t /*group*/, ReducerReceiver& rx) {
+                    for (const auto& [key, value] : rx.aggregated()) {
+                        aggregated[static_cast<std::uint32_t>(key.to_u64() - 1)] =
+                            f32_from_wire(value);
+                    }
+                });
+            const rt::RoundStats& round = driver->history().back();
+            stats.wire_pairs_sent = round.pairs_sent;
+            stats.wire_pairs_received = round.pairs_received;
+            result.wire_pairs_sent += round.pairs_sent;
+            result.wire_pairs_received += round.pairs_received;
+        } else {
+            for (const auto& g : grads) {
+                for (std::size_t i = 0; i < g.size(); ++i) {
+                    aggregated[g.indices[i]] += g.values[i];
+                }
             }
         }
         SparseGradient combined;
@@ -123,6 +175,7 @@ TrainingResult train_parameter_server(const TrainingConfig& config) {
             combined.indices.push_back(idx);
             combined.values.push_back(value * inv_w);
         }
+        result.steps.push_back(stats);
         optimizer->apply(model.parameters(), combined);
     }
 
@@ -135,6 +188,11 @@ TrainingResult train_parameter_server(const TrainingConfig& config) {
     result.mean_overlap = overlap_sum / static_cast<double>(result.steps.size());
     result.mean_traffic_reduction =
         reduction_sum / static_cast<double>(result.steps.size());
+    result.realized_traffic_reduction =
+        result.wire_pairs_sent == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(result.wire_pairs_received) /
+                        static_cast<double>(result.wire_pairs_sent);
     result.final_accuracy = model.accuracy(eval_set);
     result.final_loss = model.loss(eval_set);
     return result;

@@ -22,10 +22,22 @@
 #include "ml/mnist.hpp"
 #include "ml/model.hpp"
 #include "ml/optimizer.hpp"
+#include "runtime/cluster.hpp"
 
 namespace daiet::ml {
 
 enum class OptimizerKind : std::uint8_t { kSgd, kAdam };
+
+/// How the per-step gradients reach the parameter server.
+enum class GradientExchange : std::uint8_t {
+    /// Summed in process memory (the paper's §3 measurement setup: the
+    /// overlap statistics quantify what DAIET *could* save).
+    kInMemory,
+    /// Shipped as DAIET key-value pairs through a simulated programmable
+    /// fabric that sums them in flight (what DAIET *does* save; the
+    /// realized per-step reduction lands in StepStats::wire_*).
+    kDaietNetwork,
+};
 
 struct TrainingConfig {
     std::size_t num_workers{5};
@@ -37,6 +49,10 @@ struct TrainingConfig {
     MnistConfig data{};
     std::size_t eval_samples{256};
     std::uint64_t seed{99};
+    GradientExchange exchange{GradientExchange::kInMemory};
+    /// Fabric shape for kDaietNetwork (one host per worker plus the
+    /// parameter server).
+    rt::TopologyKind topology{rt::TopologyKind::kStar};
 };
 
 struct StepStats {
@@ -44,8 +60,19 @@ struct StepStats {
     double overlap{0.0};
     std::size_t union_elements{0};   ///< elements updated by >= 1 worker
     std::size_t total_updates{0};    ///< sum of per-worker update counts
-    double traffic_reduction{0.0};   ///< 1 - union/total
+    double traffic_reduction{0.0};   ///< 1 - union/total (potential)
     double loss{0.0};                ///< mean worker training loss this step
+    // kDaietNetwork only: pairs on the wire below / above the switch.
+    std::uint64_t wire_pairs_sent{0};
+    std::uint64_t wire_pairs_received{0};
+
+    /// Realized in-network reduction for this step (0 when in-memory).
+    double realized_wire_reduction() const noexcept {
+        return wire_pairs_sent == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(wire_pairs_received) /
+                               static_cast<double>(wire_pairs_sent);
+    }
 };
 
 struct TrainingResult {
@@ -55,6 +82,11 @@ struct TrainingResult {
     double final_accuracy{0.0};  ///< on a held-out evaluation set
     double initial_loss{0.0};
     double final_loss{0.0};
+    // kDaietNetwork only.
+    std::uint64_t wire_pairs_sent{0};
+    std::uint64_t wire_pairs_received{0};
+    /// Realized in-network reduction: 1 - received/sent over all steps.
+    double realized_traffic_reduction{0.0};
 };
 
 TrainingResult train_parameter_server(const TrainingConfig& config);

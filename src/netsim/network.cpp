@@ -1,5 +1,6 @@
 #include "netsim/network.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <limits>
 #include <unordered_map>
@@ -173,6 +174,77 @@ LeafSpineTopology make_leaf_spine_pipeline(Network& net, std::size_t n_leaf,
         [&](std::string name) -> Node* {
             return &net.add_pipeline_switch(std::move(name), config);
         });
+}
+
+namespace {
+
+template <typename AddSwitch>
+FatTreeTopology make_fat_tree_impl(Network& net, std::size_t k, std::size_t n_hosts,
+                                   LinkParams params, AddSwitch&& add_switch) {
+    DAIET_EXPECTS(k >= 2 && k % 2 == 0);
+    const std::size_t half = k / 2;
+    if (n_hosts == 0) n_hosts = FatTreeTopology::capacity(k);
+    DAIET_EXPECTS(n_hosts <= FatTreeTopology::capacity(k));
+
+    FatTreeTopology topo;
+    topo.net = &net;
+    topo.k = k;
+
+    for (std::size_t c = 0; c < half * half; ++c) {
+        topo.cores.push_back(add_switch("core" + std::to_string(c)));
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+        for (std::size_t a = 0; a < half; ++a) {
+            Node* agg =
+                add_switch("agg" + std::to_string(p) + "_" + std::to_string(a));
+            topo.aggs.push_back(agg);
+            // Aggregation switch a of every pod uplinks to the a-th
+            // group of k/2 core switches.
+            for (std::size_t c = 0; c < half; ++c) {
+                net.connect(*agg, *topo.cores[a * half + c], params);
+            }
+        }
+        for (std::size_t e = 0; e < half; ++e) {
+            Node* edge =
+                add_switch("edge" + std::to_string(p) + "_" + std::to_string(e));
+            topo.edges.push_back(edge);
+            for (std::size_t a = 0; a < half; ++a) {
+                net.connect(*edge, *topo.aggs[p * half + a], params);
+            }
+        }
+    }
+    // Round-robin host placement keeps partially populated fabrics
+    // balanced across pods (a cluster of 8 on k=4 lands 1 per edge).
+    for (std::size_t i = 0; i < n_hosts; ++i) {
+        auto& host = net.add_host("host" + std::to_string(i));
+        net.connect(host, *topo.edges[i % topo.edges.size()], params);
+        topo.hosts.push_back(&host);
+    }
+    return topo;
+}
+
+}  // namespace
+
+FatTreeTopology make_fat_tree_l2(Network& net, std::size_t k, std::size_t n_hosts,
+                                 LinkParams params) {
+    return make_fat_tree_impl(net, k, n_hosts, params,
+                              [&](std::string name) -> Node* {
+                                  return &net.add_l2_switch(std::move(name));
+                              });
+}
+
+FatTreeTopology make_fat_tree_pipeline(Network& net, std::size_t k,
+                                       const dp::SwitchConfig& config,
+                                       std::size_t n_hosts, LinkParams params) {
+    dp::SwitchConfig sized = config;
+    // A fat-tree switch never needs more than k ports (k/2 down + k/2 up).
+    sized.num_ports = std::max<std::uint16_t>(
+        sized.num_ports, static_cast<std::uint16_t>(k + 2));
+    return make_fat_tree_impl(net, k, n_hosts, params,
+                              [&](std::string name) -> Node* {
+                                  return &net.add_pipeline_switch(std::move(name),
+                                                                  sized);
+                              });
 }
 
 }  // namespace daiet::sim

@@ -89,4 +89,32 @@ LeafSpineTopology make_leaf_spine_pipeline(Network& net, std::size_t n_leaf,
                                            const dp::SwitchConfig& config,
                                            LinkParams params = {});
 
+/// Three-tier k-ary fat-tree (Al-Fares et al.): k pods, each with k/2
+/// edge and k/2 aggregation switches, and (k/2)^2 core switches. Every
+/// edge switch serves up to k/2 hosts, for a full complement of k^3/4.
+/// The deepest aggregation trees a DAIET deployment can build — five
+/// switch hops between hosts in different pods.
+struct FatTreeTopology {
+    Network* net{nullptr};
+    std::size_t k{0};
+    std::vector<Node*> cores;  ///< (k/2)^2 switches
+    std::vector<Node*> aggs;   ///< pod-major: pod p owns [p*k/2, (p+1)*k/2)
+    std::vector<Node*> edges;  ///< pod-major, same layout as aggs
+    std::vector<Host*> hosts;  ///< hosts[i] hangs off edges[i % edges.size()]
+
+    static constexpr std::size_t capacity(std::size_t k) noexcept {
+        return k * k * k / 4;
+    }
+};
+
+/// `n_hosts` == 0 attaches the full k^3/4 complement; smaller counts are
+/// spread round-robin across edge switches so every pod stays populated.
+FatTreeTopology make_fat_tree_l2(Network& net, std::size_t k,
+                                 std::size_t n_hosts = 0, LinkParams params = {});
+
+FatTreeTopology make_fat_tree_pipeline(Network& net, std::size_t k,
+                                       const dp::SwitchConfig& config,
+                                       std::size_t n_hosts = 0,
+                                       LinkParams params = {});
+
 }  // namespace daiet::sim

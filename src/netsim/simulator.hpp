@@ -43,10 +43,11 @@ public:
     }
 
     /// Run until the queue empties or simulated time would exceed
-    /// `deadline`; events after the deadline stay queued.
+    /// `deadline`; events after the deadline stay queued and the clock
+    /// lands exactly on `deadline`.
     SimTime run_until(SimTime deadline) {
         while (!queue_.empty() && queue_.top().at <= deadline) step();
-        now_ = std::max(now_, std::min(deadline, now_));
+        now_ = std::max(now_, deadline);
         return now_;
     }
 

@@ -1,0 +1,207 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "core/protocol.hpp"
+
+namespace daiet::rt {
+
+// ------------------------------------------------------------- TreePool
+
+TreePool::TreePool(std::size_t capacity) : in_use_(capacity, false) {
+    DAIET_EXPECTS(capacity > 0);
+}
+
+TreeId TreePool::acquire() {
+    for (std::size_t id = 0; id < in_use_.size(); ++id) {
+        if (!in_use_[id]) {
+            in_use_[id] = true;
+            ++leased_;
+            return static_cast<TreeId>(id);
+        }
+    }
+    throw std::runtime_error{"TreePool: all " + std::to_string(capacity()) +
+                             " tree ids are leased (raise Config::max_trees or "
+                             "finish a concurrent job first)"};
+}
+
+std::vector<TreeId> TreePool::acquire(std::size_t n) {
+    std::vector<TreeId> ids;
+    ids.reserve(n);
+    try {
+        for (std::size_t i = 0; i < n; ++i) ids.push_back(acquire());
+    } catch (...) {
+        for (const TreeId id : ids) release(id);
+        throw;
+    }
+    return ids;
+}
+
+void TreePool::release(TreeId id) {
+    DAIET_EXPECTS(id < in_use_.size());
+    DAIET_EXPECTS(in_use_[id]);
+    in_use_[id] = false;
+    --leased_;
+}
+
+// ------------------------------------------------------- ClusterRuntime
+
+dp::SwitchConfig ClusterRuntime::switch_config_for(const Config& config,
+                                                   std::size_t ports,
+                                                   std::size_t sram_override) {
+    dp::SwitchConfig cfg;
+    cfg.num_ports = static_cast<std::uint16_t>(ports + 2);
+    if (sram_override != 0) {
+        cfg.sram_bytes = sram_override;
+        return cfg;
+    }
+    // SRAM sized like the paper's estimate: ~10 MB of register state is
+    // "a reasonable amount of memory for a hardware P4 switch" (§5);
+    // give the chip 2 MiB of headroom for the flow tables.
+    const std::size_t per_tree =
+        config.register_size *
+            (Key16::width + sizeof(WireValue) + sizeof(std::uint32_t)) +
+        config.spillover_capacity * sizeof(KvPair) + 64;
+    cfg.sram_bytes = config.max_trees * per_tree + (2u << 20);
+    return cfg;
+}
+
+sim::Node* ClusterRuntime::add_switch(const std::string& name, std::size_t ports) {
+    if (options_.daiet) {
+        auto& sw = net_->add_pipeline_switch(
+            name,
+            switch_config_for(options_.config, ports, options_.switch_sram_bytes));
+        daiet_switches_.push_back(&sw);
+        return &sw;
+    }
+    return &net_->add_l2_switch(name);
+}
+
+void ClusterRuntime::build_star() {
+    sim::Node* tor = add_switch("tor", options_.num_hosts);
+    for (std::size_t i = 0; i < options_.num_hosts; ++i) {
+        auto& h = net_->add_host("h" + std::to_string(i));
+        net_->connect(h, *tor, options_.link);
+        hosts_.push_back(&h);
+    }
+}
+
+void ClusterRuntime::build_leaf_spine() {
+    DAIET_EXPECTS(options_.n_leaf > 0 && options_.n_spine > 0);
+    const std::size_t hosts_per_leaf =
+        (options_.num_hosts + options_.n_leaf - 1) / options_.n_leaf;
+    std::vector<sim::Node*> spines;
+    for (std::size_t s = 0; s < options_.n_spine; ++s) {
+        spines.push_back(add_switch("spine" + std::to_string(s), options_.n_leaf));
+    }
+    std::vector<sim::Node*> leaves;
+    for (std::size_t l = 0; l < options_.n_leaf; ++l) {
+        sim::Node* leaf = add_switch("leaf" + std::to_string(l),
+                                     hosts_per_leaf + options_.n_spine);
+        for (sim::Node* spine : spines) net_->connect(*leaf, *spine, options_.link);
+        leaves.push_back(leaf);
+    }
+    // Consecutive fill: hosts [l*hosts_per_leaf, ...) share leaf l, the
+    // rack-locality layout the paper's Figure 2 trees aggregate over.
+    for (std::size_t i = 0; i < options_.num_hosts; ++i) {
+        auto& h = net_->add_host("h" + std::to_string(i));
+        net_->connect(h, *leaves[i / hosts_per_leaf], options_.link);
+        hosts_.push_back(&h);
+    }
+}
+
+void ClusterRuntime::build_fat_tree() {
+    const std::size_t k = options_.fat_tree_k;
+    if (options_.num_hosts > sim::FatTreeTopology::capacity(k)) {
+        throw std::runtime_error{
+            "ClusterRuntime: " + std::to_string(options_.num_hosts) +
+            " hosts exceed fat-tree capacity k^3/4 = " +
+            std::to_string(sim::FatTreeTopology::capacity(k))};
+    }
+    sim::FatTreeTopology topo;
+    if (options_.daiet) {
+        topo = sim::make_fat_tree_pipeline(
+            *net_, k,
+            switch_config_for(options_.config, k, options_.switch_sram_bytes),
+            options_.num_hosts, options_.link);
+        for (const auto* tier : {&topo.cores, &topo.aggs, &topo.edges}) {
+            for (sim::Node* node : *tier) {
+                auto* sw = dynamic_cast<sim::PipelineSwitchNode*>(node);
+                DAIET_EXPECTS(sw != nullptr);
+                daiet_switches_.push_back(sw);
+            }
+        }
+    } else {
+        topo = sim::make_fat_tree_l2(*net_, k, options_.num_hosts, options_.link);
+    }
+    hosts_ = topo.hosts;
+}
+
+ClusterRuntime::ClusterRuntime(ClusterOptions options)
+    : options_{options},
+      net_{std::make_unique<sim::Network>(options.seed)},
+      // Tree ids are switch register slots only on a DAIET fabric; on a
+      // plain L2 fabric they are mere stream labels, so the whole TreeId
+      // space is available (the UDP/no-agg baseline must not inherit the
+      // programmable chip's limit).
+      trees_{options.daiet ? options.config.max_trees
+                           : std::numeric_limits<TreeId>::max()} {
+    DAIET_EXPECTS(options_.num_hosts >= 1);
+    switch (options_.topology) {
+        case TopologyKind::kStar: build_star(); break;
+        case TopologyKind::kLeafSpine: build_leaf_spine(); break;
+        case TopologyKind::kFatTree: build_fat_tree(); break;
+    }
+    // Programs load before install_routes: the controller pushes routes
+    // into program tables on programmable switches.
+    programs_.reserve(daiet_switches_.size());
+    for (auto* sw : daiet_switches_) {
+        programs_.push_back(load_daiet_program(options_.config, sw->chip()));
+    }
+    net_->install_routes();
+    if (options_.daiet) {
+        controller_ = std::make_unique<Controller>(*net_, options_.config);
+        for (std::size_t i = 0; i < daiet_switches_.size(); ++i) {
+            controller_->register_program(daiet_switches_[i]->id(), programs_[i]);
+        }
+    }
+}
+
+Controller& ClusterRuntime::controller() {
+    DAIET_EXPECTS(controller_ != nullptr);
+    return *controller_;
+}
+
+sim::Host& ClusterRuntime::host(std::size_t i) const {
+    DAIET_EXPECTS(i < hosts_.size());
+    return *hosts_[i];
+}
+
+DaietSwitchProgram* ClusterRuntime::program_at(sim::NodeId node) const {
+    for (std::size_t i = 0; i < daiet_switches_.size(); ++i) {
+        if (daiet_switches_[i]->id() == node) return programs_[i].get();
+    }
+    return nullptr;
+}
+
+std::uint64_t ClusterRuntime::total_recirculations() const {
+    std::uint64_t total = 0;
+    for (const auto* sw : daiet_switches_) {
+        total += sw->chip().stats().recirculations;
+    }
+    return total;
+}
+
+std::size_t ClusterRuntime::max_switch_sram_used() const {
+    std::size_t used = 0;
+    for (const auto* sw : daiet_switches_) {
+        used = std::max(used, sw->chip().sram().used_bytes());
+    }
+    return used;
+}
+
+}  // namespace daiet::rt

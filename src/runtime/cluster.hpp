@@ -1,0 +1,141 @@
+// Cluster runtime: the one place that wires Simulator + Network +
+// Controller + DAIET programs together.
+//
+// Every workload layer (MapReduce shuffle, ML gradient exchange, graph
+// reduction) used to rebuild this plumbing by hand; ClusterRuntime owns
+// it instead. It builds a named topology (star, leaf-spine, fat-tree),
+// loads the DAIET program on every programmable switch, registers the
+// programs with the controller, and hands out aggregation-tree ids from
+// a shared multi-tenant pool so several concurrent jobs can coexist on
+// one fabric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/controller.hpp"
+#include "core/pipeline_program.hpp"
+#include "netsim/network.hpp"
+
+namespace daiet::rt {
+
+enum class TopologyKind : std::uint8_t { kStar, kLeafSpine, kFatTree };
+
+constexpr std::string_view to_string(TopologyKind kind) noexcept {
+    switch (kind) {
+        case TopologyKind::kStar: return "star";
+        case TopologyKind::kLeafSpine: return "leaf-spine";
+        case TopologyKind::kFatTree: return "fat-tree";
+    }
+    return "unknown";
+}
+
+/// Shared pool of aggregation-tree ids. A switch supports at most
+/// Config::max_trees concurrent trees (the paper's prototype runs 12);
+/// the pool is the single tenancy arbiter: every job leases its tree
+/// ids here and returns them when it completes, so concurrent jobs can
+/// never collide on switch register slots.
+class TreePool {
+public:
+    explicit TreePool(std::size_t capacity);
+
+    /// Lease one tree id; throws std::runtime_error when the fabric is
+    /// fully subscribed.
+    TreeId acquire();
+    std::vector<TreeId> acquire(std::size_t n);
+    void release(TreeId id);
+
+    std::size_t capacity() const noexcept { return in_use_.size(); }
+    std::size_t leased() const noexcept { return leased_; }
+    std::size_t available() const noexcept { return capacity() - leased_; }
+
+private:
+    std::vector<bool> in_use_;
+    std::size_t leased_{0};
+};
+
+struct ClusterOptions {
+    TopologyKind topology{TopologyKind::kStar};
+    /// Total hosts attached to the fabric. For leaf-spine they fill the
+    /// leaves in consecutive groups; for fat-tree they spread round-robin
+    /// across edge switches (must fit k^3/4).
+    std::size_t num_hosts{4};
+
+    // Leaf-spine shape.
+    std::size_t n_leaf{2};
+    std::size_t n_spine{2};
+    // Fat-tree arity (k pods; k even).
+    std::size_t fat_tree_k{4};
+
+    /// true: every switch is programmable and runs the DAIET program;
+    /// false: plain L2 forwarding everywhere (the paper's baselines).
+    bool daiet{true};
+    Config config{};
+    sim::LinkParams link{};
+    std::uint64_t seed{1};
+    /// Per-switch SRAM. 0 derives a budget from `config` (all trees'
+    /// register state plus 2 MiB of table headroom, the paper's ~10 MB
+    /// estimate at default configuration).
+    std::size_t switch_sram_bytes{0};
+};
+
+class ClusterRuntime {
+public:
+    explicit ClusterRuntime(ClusterOptions options);
+
+    ClusterRuntime(const ClusterRuntime&) = delete;
+    ClusterRuntime& operator=(const ClusterRuntime&) = delete;
+
+    const ClusterOptions& options() const noexcept { return options_; }
+    sim::Network& network() noexcept { return *net_; }
+    sim::Simulator& simulator() noexcept { return net_->simulator(); }
+
+    bool daiet_enabled() const noexcept { return options_.daiet; }
+    /// Only valid on a DAIET-enabled cluster.
+    Controller& controller();
+    TreePool& trees() noexcept { return trees_; }
+
+    const std::vector<sim::Host*>& hosts() const noexcept { return hosts_; }
+    sim::Host& host(std::size_t i) const;
+    const std::vector<sim::PipelineSwitchNode*>& daiet_switches() const noexcept {
+        return daiet_switches_;
+    }
+    /// The DAIET program on `node`, or nullptr when the switch is not
+    /// programmable (partial deployments, baselines).
+    DaietSwitchProgram* program_at(sim::NodeId node) const;
+
+    sim::SimTime run() { return net_->run(); }
+    sim::SimTime run_until(sim::SimTime deadline) {
+        return simulator().run_until(deadline);
+    }
+    sim::SimTime now() const noexcept { return net_->simulator().now(); }
+
+    // --- fabric-wide observability -----------------------------------------
+    std::uint64_t total_recirculations() const;
+    std::size_t max_switch_sram_used() const;
+
+    /// The chip configuration the runtime gives each programmable
+    /// switch: `ports` data ports plus headroom, SRAM sized for
+    /// `config`'s full tree complement (`sram_override` wins if != 0).
+    static dp::SwitchConfig switch_config_for(const Config& config, std::size_t ports,
+                                              std::size_t sram_override = 0);
+
+private:
+    sim::Node* add_switch(const std::string& name, std::size_t ports);
+    void build_star();
+    void build_leaf_spine();
+    void build_fat_tree();
+
+    ClusterOptions options_;
+    std::unique_ptr<sim::Network> net_;
+    std::vector<sim::Host*> hosts_;
+    std::vector<sim::PipelineSwitchNode*> daiet_switches_;
+    std::vector<std::shared_ptr<DaietSwitchProgram>> programs_;
+    std::unique_ptr<Controller> controller_;
+    TreePool trees_;
+};
+
+}  // namespace daiet::rt

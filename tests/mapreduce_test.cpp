@@ -362,13 +362,25 @@ TEST(Job, LeafSpineDaietAggregatesAtEveryLevel) {
     opts.mode = ShuffleMode::kDaiet;
     opts.daiet.register_size = 1024;
     opts.daiet.max_trees = 3;
-    opts.leaf_spine = true;
+    opts.topology = rt::TopologyKind::kLeafSpine;
     opts.n_leaf = 2;
     opts.n_spine = 2;
     const auto result = run_wordcount_job(corpus, opts);
     const auto expected = corpus.reference_counts();
     ASSERT_EQ(result.output.size(), expected.size());
     EXPECT_EQ(result.output.front().first, expected.front().first);
+}
+
+TEST(Job, UdpBaselineNotLimitedBySwitchTreeBudget) {
+    // The plain-UDP baseline runs on L2 switches where tree ids consume
+    // no registers; fewer register slots than reducers must not matter.
+    CorpusConfig cc = small_corpus();  // 3 reducers
+    const Corpus corpus{cc};
+    JobOptions opts;
+    opts.mode = ShuffleMode::kUdpNoAgg;
+    opts.daiet.max_trees = 1;
+    const auto result = run_wordcount_job(corpus, opts);
+    EXPECT_EQ(result.output.size(), corpus.reference_counts().size());
 }
 
 TEST(Job, TcpBaselineMergeReducerVariant) {

@@ -50,6 +50,9 @@ TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
     sim.schedule_at(100, [&] { ++fired; });
     sim.run_until(50);
     EXPECT_EQ(fired, 1);
+    // The clock must land exactly on the deadline even though the last
+    // executed event fired earlier (periodic pollers depend on this).
+    EXPECT_EQ(sim.now(), 50U);
     EXPECT_FALSE(sim.idle());
     sim.run();
     EXPECT_EQ(fired, 2);

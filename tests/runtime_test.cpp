@@ -1,0 +1,444 @@
+// Tests for the cluster runtime: topology builders, the multi-tenant
+// tree pool, round-based job orchestration, recovery, and the networked
+// ML / Pregel workloads that ride on it.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "graph/distributed.hpp"
+#include "graph/generator.hpp"
+#include "graph/pregel.hpp"
+#include "ml/training.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/job_driver.hpp"
+
+namespace daiet::rt {
+namespace {
+
+KvPair kv(const std::string& k, std::int32_t v) {
+    return KvPair{Key16{k}, wire_from_i32(v)};
+}
+
+std::map<std::string, std::int64_t> as_map(const ReducerReceiver& rx) {
+    std::map<std::string, std::int64_t> out;
+    for (const auto& [key, value] : rx.aggregated()) {
+        out[key.to_string()] = i32_from_wire(value);
+    }
+    return out;
+}
+
+// ------------------------------------------------------------- TreePool
+
+TEST(TreePool, LeasesDistinctIdsUpToCapacity) {
+    TreePool pool{3};
+    EXPECT_EQ(pool.capacity(), 3U);
+    const TreeId a = pool.acquire();
+    const TreeId b = pool.acquire();
+    const TreeId c = pool.acquire();
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(pool.available(), 0U);
+    EXPECT_THROW(pool.acquire(), std::runtime_error);
+}
+
+TEST(TreePool, ReleaseMakesIdAvailableAgain) {
+    TreePool pool{2};
+    const TreeId a = pool.acquire();
+    pool.acquire();
+    pool.release(a);
+    EXPECT_EQ(pool.available(), 1U);
+    EXPECT_EQ(pool.acquire(), a);
+}
+
+TEST(TreePool, BulkAcquireRollsBackOnExhaustion) {
+    TreePool pool{2};
+    pool.acquire();
+    EXPECT_THROW(pool.acquire(2), std::runtime_error);
+    // The failed bulk lease must not leak the id it briefly held.
+    EXPECT_EQ(pool.available(), 1U);
+}
+
+// ------------------------------------------------------- ClusterRuntime
+
+TEST(ClusterRuntime, StarBuildsProgrammableFabric) {
+    ClusterOptions opts;
+    opts.num_hosts = 4;
+    ClusterRuntime rt{opts};
+    EXPECT_EQ(rt.hosts().size(), 4U);
+    ASSERT_EQ(rt.daiet_switches().size(), 1U);
+    EXPECT_NE(rt.program_at(rt.daiet_switches()[0]->id()), nullptr);
+    EXPECT_EQ(rt.trees().capacity(), opts.config.max_trees);
+}
+
+TEST(ClusterRuntime, NonDaietClusterHasNoControllerState) {
+    ClusterOptions opts;
+    opts.daiet = false;
+    opts.num_hosts = 3;
+    ClusterRuntime rt{opts};
+    EXPECT_TRUE(rt.daiet_switches().empty());
+    EXPECT_EQ(rt.total_recirculations(), 0U);
+    // Without programmable switches, tree ids are plain stream labels:
+    // the chip's register budget must not cap them.
+    EXPECT_GT(rt.trees().capacity(), opts.config.max_trees);
+}
+
+TEST(ClusterRuntime, FatTreeAggregatesAcrossAllLevels) {
+    ClusterOptions opts;
+    opts.topology = TopologyKind::kFatTree;
+    opts.fat_tree_k = 4;
+    opts.num_hosts = 16;  // full k^3/4 complement
+    opts.config.max_trees = 1;
+    ClusterRuntime rt{opts};
+    // k=4: 4 cores + 4*(2 aggs + 2 edges) = 20 programmable switches.
+    EXPECT_EQ(rt.daiet_switches().size(), 20U);
+
+    JobSpec spec;
+    spec.name = "fat-tree-sum";
+    JobGroup group;
+    group.reducer = &rt.host(15);
+    for (std::size_t i = 0; i < 15; ++i) group.mappers.push_back(&rt.host(i));
+    spec.groups.push_back(group);
+    JobDriver driver{rt, spec};
+
+    const RoundStats round = driver.run_round(
+        [](std::size_t, std::size_t, MapperSender& tx) { tx.send(kv("popular", 1)); },
+        [](std::size_t, ReducerReceiver& rx) {
+            EXPECT_EQ(i32_from_wire(rx.aggregated().at(Key16{"popular"})), 15);
+        });
+    // Fifteen contributions fold into a single pair across up to five
+    // switch levels: the reducer's edge switch is the last combiner.
+    EXPECT_EQ(round.pairs_sent, 15U);
+    EXPECT_EQ(round.pairs_received, 1U);
+    EXPECT_GT(round.traffic_reduction(), 0.9);
+}
+
+TEST(ClusterRuntime, FatTreeRejectsOversubscription) {
+    ClusterOptions opts;
+    opts.topology = TopologyKind::kFatTree;
+    opts.fat_tree_k = 4;
+    opts.num_hosts = 17;  // capacity is 16
+    EXPECT_THROW(ClusterRuntime{opts}, std::runtime_error);
+}
+
+TEST(ClusterRuntime, LeafSpineSpreadsHostsAcrossLeaves) {
+    ClusterOptions opts;
+    opts.topology = TopologyKind::kLeafSpine;
+    opts.n_leaf = 2;
+    opts.n_spine = 2;
+    opts.num_hosts = 6;
+    opts.config.max_trees = 1;
+    ClusterRuntime rt{opts};
+    EXPECT_EQ(rt.hosts().size(), 6U);
+    EXPECT_EQ(rt.daiet_switches().size(), 4U);
+
+    JobSpec spec;
+    JobGroup group;
+    group.reducer = &rt.host(5);
+    for (std::size_t i = 0; i < 5; ++i) group.mappers.push_back(&rt.host(i));
+    spec.groups.push_back(group);
+    JobDriver driver{rt, spec};
+    driver.run_round(
+        [](std::size_t, std::size_t, MapperSender& tx) { tx.send(kv("w", 1)); },
+        [](std::size_t, ReducerReceiver& rx) {
+            EXPECT_EQ(i32_from_wire(rx.aggregated().at(Key16{"w"})), 5);
+        });
+}
+
+// ------------------------------------------------------------ JobDriver
+
+ClusterOptions star_options(std::size_t hosts, std::size_t trees = 4) {
+    ClusterOptions opts;
+    opts.num_hosts = hosts;
+    opts.config.register_size = 512;
+    opts.config.max_trees = trees;
+    return opts;
+}
+
+TEST(JobDriver, RoundAggregatesAndReportsStats) {
+    ClusterRuntime rt{star_options(5)};
+    JobSpec spec;
+    JobGroup group;
+    group.reducer = &rt.host(4);
+    for (std::size_t i = 0; i < 4; ++i) group.mappers.push_back(&rt.host(i));
+    spec.groups.push_back(group);
+    JobDriver driver{rt, spec};
+
+    const RoundStats round = driver.run_round(
+        [](std::size_t, std::size_t mapper, MapperSender& tx) {
+            tx.send(kv("shared", 1));
+            tx.send(kv("solo" + std::to_string(mapper), 5));
+        },
+        [](std::size_t, ReducerReceiver& rx) {
+            EXPECT_EQ(i32_from_wire(rx.aggregated().at(Key16{"shared"})), 4);
+            EXPECT_EQ(rx.aggregated().size(), 5U);
+        });
+    EXPECT_EQ(round.attempts, 1U);
+    EXPECT_EQ(round.pairs_sent, 8U);
+    EXPECT_EQ(round.pairs_received, 5U);
+    EXPECT_GT(round.finished, round.started);
+    EXPECT_EQ(driver.rounds_completed(), 1U);
+}
+
+TEST(JobDriver, IterativeRoundsReuseTrees) {
+    ClusterRuntime rt{star_options(3)};
+    JobSpec spec;
+    JobGroup group;
+    group.reducer = &rt.host(2);
+    group.mappers = {&rt.host(0), &rt.host(1)};
+    spec.groups.push_back(group);
+    JobDriver driver{rt, spec};
+
+    for (int round = 0; round < 3; ++round) {
+        driver.run_round(
+            [round](std::size_t, std::size_t, MapperSender& tx) {
+                tx.send(kv("iter", round + 1));
+            },
+            [round](std::size_t, ReducerReceiver& rx) {
+                EXPECT_EQ(i32_from_wire(rx.aggregated().at(Key16{"iter"})),
+                          2 * (round + 1));
+            });
+    }
+    EXPECT_EQ(driver.history().size(), 3U);
+}
+
+TEST(JobDriver, ReleasesTreesOnDestructionWithCleanState) {
+    ClusterRuntime rt{star_options(3, 1)};  // a single tree id to fight over
+    JobSpec spec;
+    JobGroup group;
+    group.reducer = &rt.host(2);
+    group.mappers = {&rt.host(0), &rt.host(1)};
+    spec.groups.push_back(group);
+
+    {
+        JobDriver first{rt, spec};
+        EXPECT_EQ(rt.trees().available(), 0U);
+        first.run_round([](std::size_t, std::size_t, MapperSender& tx) {
+            tx.send(kv("a", 7));
+        });
+    }
+    EXPECT_EQ(rt.trees().available(), 1U);
+
+    // The successor leases the same id and must see pristine registers.
+    JobDriver second{rt, spec};
+    second.run_round(
+        [](std::size_t, std::size_t, MapperSender& tx) { tx.send(kv("b", 1)); },
+        [](std::size_t, ReducerReceiver& rx) {
+            EXPECT_EQ(rx.aggregated().size(), 1U);
+            EXPECT_EQ(i32_from_wire(rx.aggregated().at(Key16{"b"})), 2);
+        });
+}
+
+TEST(JobDriver, PoolExhaustionSurfacesAsError) {
+    ClusterRuntime rt{star_options(4, 1)};
+    JobSpec spec;
+    JobGroup group;
+    group.reducer = &rt.host(3);
+    group.mappers = {&rt.host(0)};
+    spec.groups.push_back(group);
+    JobDriver holder{rt, spec};
+
+    JobSpec second = spec;
+    second.groups[0].reducer = &rt.host(2);
+    EXPECT_THROW((JobDriver{rt, second}), std::runtime_error);
+}
+
+// --------------------------------------------------------- multi-tenant
+
+/// Two jobs, each two mappers -> one reducer, on one 6-host fabric.
+struct TenantFixture {
+    static constexpr std::size_t kJobs = 2;
+
+    static JobSpec spec_for(ClusterRuntime& rt, std::size_t job) {
+        JobSpec spec;
+        spec.name = "tenant" + std::to_string(job);
+        JobGroup group;
+        group.reducer = &rt.host(4 + job);
+        group.mappers = {&rt.host(2 * job), &rt.host(2 * job + 1)};
+        spec.groups.push_back(group);
+        return spec;
+    }
+
+    static void produce(std::size_t job, std::size_t mapper, MapperSender& tx) {
+        for (int i = 0; i < 40; ++i) {
+            tx.send(kv("j" + std::to_string(job) + "_k" + std::to_string(i % 10),
+                       static_cast<std::int32_t>(mapper + 1)));
+        }
+    }
+};
+
+TEST(JobDriver, ConcurrentJobsMatchSerialExecution) {
+    // Serial: each job alone on its own (identically seeded) fabric.
+    std::vector<std::map<std::string, std::int64_t>> serial(TenantFixture::kJobs);
+    for (std::size_t job = 0; job < TenantFixture::kJobs; ++job) {
+        ClusterRuntime rt{star_options(6)};
+        JobDriver driver{rt, TenantFixture::spec_for(rt, job)};
+        driver.run_round(
+            [job](std::size_t, std::size_t mapper, MapperSender& tx) {
+                TenantFixture::produce(job, mapper, tx);
+            },
+            [&serial, job](std::size_t, ReducerReceiver& rx) {
+                serial[job] = as_map(rx);
+            });
+        EXPECT_EQ(serial[job].size(), 10U);
+    }
+
+    // Concurrent: both jobs lease disjoint trees from one fabric's pool
+    // and their traffic interleaves in a single simulation run.
+    ClusterRuntime rt{star_options(6)};
+    auto job0 = std::make_unique<JobDriver>(rt, TenantFixture::spec_for(rt, 0));
+    auto job1 = std::make_unique<JobDriver>(rt, TenantFixture::spec_for(rt, 1));
+    EXPECT_NE(job0->tree(0), job1->tree(0));
+
+    job0->begin_round();
+    job1->begin_round();
+    auto rx0 = job0->bind_receivers();
+    auto rx1 = job1->bind_receivers();
+    job0->schedule_sends([](std::size_t, std::size_t mapper, MapperSender& tx) {
+        TenantFixture::produce(0, mapper, tx);
+    });
+    job1->schedule_sends([](std::size_t, std::size_t mapper, MapperSender& tx) {
+        TenantFixture::produce(1, mapper, tx);
+    });
+    rt.run();
+    job0->verify(rx0);
+    job1->verify(rx1);
+    const RoundStats round0 = job0->collect(rx0);
+    const RoundStats round1 = job1->collect(rx1);
+
+    EXPECT_EQ(as_map(*rx0[0]), serial[0]);
+    EXPECT_EQ(as_map(*rx1[0]), serial[1]);
+    // Isolation: neither reducer saw the other job's keys, and both
+    // streams still aggregated in-network.
+    EXPECT_EQ(rx0[0]->aggregated().count(Key16{"j1_k0"}), 0U);
+    EXPECT_EQ(rx1[0]->aggregated().count(Key16{"j0_k0"}), 0U);
+    EXPECT_LT(round0.pairs_received, round0.pairs_sent);
+    EXPECT_LT(round1.pairs_received, round1.pairs_sent);
+}
+
+// ------------------------------------------------------------- recovery
+
+TEST(JobDriver, RecoversFromPacketLossViaRestart) {
+    ClusterOptions opts = star_options(3);
+    opts.link.loss_probability = 0.06;
+    opts.seed = 2;  // deterministic: this seed drops frames on attempt 1
+    ClusterRuntime rt{opts};
+
+    JobSpec spec;
+    spec.name = "lossy";
+    JobGroup group;
+    group.reducer = &rt.host(2);
+    group.mappers = {&rt.host(0), &rt.host(1)};
+    spec.groups.push_back(group);
+    JobDriver::Options jopts;
+    jopts.max_restarts = 500;
+    JobDriver driver{rt, spec, jopts};
+
+    const RoundStats round = driver.run_round(
+        [](std::size_t, std::size_t, MapperSender& tx) {
+            for (int i = 0; i < 100; ++i) {
+                tx.send(kv("k" + std::to_string(i), 1));
+            }
+        },
+        [](std::size_t, ReducerReceiver& rx) {
+            // The recovery path wiped every partial attempt: totals are
+            // exact, not inflated by re-aggregated leftovers.
+            ASSERT_EQ(rx.aggregated().size(), 100U);
+            for (int i = 0; i < 100; ++i) {
+                EXPECT_EQ(
+                    i32_from_wire(rx.aggregated().at(Key16{"k" + std::to_string(i)})),
+                    2);
+            }
+        });
+    // The seeded loss process drops frames on the first attempt, so the
+    // round must have gone through the recovery path at least once.
+    EXPECT_GT(round.attempts, 1U);
+}
+
+// --------------------------------------------- networked ML and Pregel
+
+TEST(NetworkedTraining, MatchesInMemoryOverlapAndLearns) {
+    ml::TrainingConfig base;
+    base.num_workers = 3;
+    base.batch_size = 10;
+    base.steps = 12;
+    const auto in_memory = ml::train_parameter_server(base);
+
+    ml::TrainingConfig net = base;
+    net.exchange = ml::GradientExchange::kDaietNetwork;
+    const auto networked = ml::train_parameter_server(net);
+
+    // Overlap statistics are computed before the exchange and must not
+    // depend on how gradients travel.
+    EXPECT_DOUBLE_EQ(networked.mean_overlap, in_memory.mean_overlap);
+    // The fabric must have realized an actual reduction.
+    EXPECT_GT(networked.wire_pairs_sent, 0U);
+    EXPECT_LT(networked.wire_pairs_received, networked.wire_pairs_sent);
+    EXPECT_GT(networked.realized_traffic_reduction, 0.2);
+    // And training still works on in-network-summed gradients.
+    EXPECT_LT(networked.final_loss, networked.initial_loss);
+}
+
+graph::Graph small_graph() {
+    graph::RmatConfig rc;
+    rc.scale = 8;
+    rc.edge_factor = 8;
+    rc.seed = 11;
+    return graph::generate_rmat(rc);
+}
+
+TEST(NetworkedPregel, WccMatchesInMemoryEngineExactly) {
+    const graph::Graph g = small_graph().symmetrized();
+
+    ClusterOptions opts;
+    opts.num_hosts = 4;
+    opts.config.max_trees = 4;
+    ClusterRuntime rt{opts};
+    graph::NetworkedPregelEngine<graph::WccProgram> networked{rt, g, 4, {}};
+    graph::PregelEngine<graph::WccProgram> reference{g, 4, {}};
+
+    const auto net_hist = networked.run(30);
+    const auto ref_hist = reference.run(30);
+
+    ASSERT_EQ(networked.values(), reference.values());
+    ASSERT_EQ(net_hist.size(), ref_hist.size());
+    for (std::size_t s = 0; s < net_hist.size(); ++s) {
+        EXPECT_EQ(net_hist[s].compute.messages_sent, ref_hist[s].messages_sent);
+        EXPECT_EQ(net_hist[s].compute.distinct_destinations,
+                  ref_hist[s].distinct_destinations);
+        EXPECT_EQ(net_hist[s].compute.remote_messages, ref_hist[s].remote_messages);
+        // On the wire only remote messages travel, and the switch folds
+        // duplicates per destination.
+        EXPECT_EQ(net_hist[s].wire_pairs_sent, ref_hist[s].remote_messages);
+        EXPECT_LE(net_hist[s].wire_pairs_received, net_hist[s].wire_pairs_sent);
+    }
+    EXPECT_EQ(networked.values(), graph::reference_components(g));
+}
+
+TEST(NetworkedPregel, PageRankTracksReferenceWithWirePrecision) {
+    const graph::Graph g = small_graph();
+    constexpr std::size_t kIterations = 5;
+
+    ClusterOptions opts;
+    opts.num_hosts = 4;
+    opts.config.max_trees = 4;
+    ClusterRuntime rt{opts};
+    graph::NetworkedPregelEngine<graph::PageRankProgram> engine{rt, g, 4, {}};
+    engine.run(kIterations + 1);  // +1: ranks settle one superstep behind
+
+    const auto reference = graph::reference_pagerank(g, kIterations);
+    double max_err = 0.0;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+        max_err = std::max(max_err, std::abs(engine.values()[v] - reference[v]));
+    }
+    EXPECT_LT(max_err, 1e-3);  // f32 wire quantization only
+
+    const auto& hist = engine.history();
+    EXPECT_GT(hist[1].wire_pairs_sent, 0U);
+    EXPECT_GT(hist[1].realized_wire_reduction(), 0.3);
+}
+
+}  // namespace
+}  // namespace daiet::rt

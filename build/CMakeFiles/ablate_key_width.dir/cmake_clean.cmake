@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_key_width.dir/bench/ablate_key_width.cpp.o"
+  "CMakeFiles/ablate_key_width.dir/bench/ablate_key_width.cpp.o.d"
+  "ablate_key_width"
+  "ablate_key_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_key_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

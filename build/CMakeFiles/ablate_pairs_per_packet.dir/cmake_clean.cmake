@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pairs_per_packet.dir/bench/ablate_pairs_per_packet.cpp.o"
+  "CMakeFiles/ablate_pairs_per_packet.dir/bench/ablate_pairs_per_packet.cpp.o.d"
+  "ablate_pairs_per_packet"
+  "ablate_pairs_per_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pairs_per_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

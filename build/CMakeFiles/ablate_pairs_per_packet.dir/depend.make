@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_pairs_per_packet.
+# This may be replaced when dependencies are built.

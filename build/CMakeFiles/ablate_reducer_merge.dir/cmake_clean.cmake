@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_reducer_merge.dir/bench/ablate_reducer_merge.cpp.o"
+  "CMakeFiles/ablate_reducer_merge.dir/bench/ablate_reducer_merge.cpp.o.d"
+  "ablate_reducer_merge"
+  "ablate_reducer_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reducer_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

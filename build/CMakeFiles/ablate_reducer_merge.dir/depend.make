@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_reducer_merge.
+# This may be replaced when dependencies are built.

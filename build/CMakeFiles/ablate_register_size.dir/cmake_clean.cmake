@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_register_size.dir/bench/ablate_register_size.cpp.o"
+  "CMakeFiles/ablate_register_size.dir/bench/ablate_register_size.cpp.o.d"
+  "ablate_register_size"
+  "ablate_register_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_register_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

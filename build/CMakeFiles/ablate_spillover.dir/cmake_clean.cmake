@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_spillover.dir/bench/ablate_spillover.cpp.o"
+  "CMakeFiles/ablate_spillover.dir/bench/ablate_spillover.cpp.o.d"
+  "ablate_spillover"
+  "ablate_spillover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_spillover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tree_depth.dir/bench/ablate_tree_depth.cpp.o"
+  "CMakeFiles/ablate_tree_depth.dir/bench/ablate_tree_depth.cpp.o.d"
+  "ablate_tree_depth"
+  "ablate_tree_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tree_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

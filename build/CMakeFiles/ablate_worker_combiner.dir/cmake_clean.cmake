@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_worker_combiner.dir/bench/ablate_worker_combiner.cpp.o"
+  "CMakeFiles/ablate_worker_combiner.dir/bench/ablate_worker_combiner.cpp.o.d"
+  "ablate_worker_combiner"
+  "ablate_worker_combiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_worker_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_worker_combiner.
+# This may be replaced when dependencies are built.

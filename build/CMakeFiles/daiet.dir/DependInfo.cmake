@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hash.cpp" "CMakeFiles/daiet.dir/src/common/hash.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/common/hash.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/daiet.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/daiet.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/daiet.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "CMakeFiles/daiet.dir/src/core/controller.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/core/controller.cpp.o.d"
+  "/root/repo/src/core/pipeline_program.cpp" "CMakeFiles/daiet.dir/src/core/pipeline_program.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/core/pipeline_program.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "CMakeFiles/daiet.dir/src/core/protocol.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/core/protocol.cpp.o.d"
+  "/root/repo/src/core/reliable.cpp" "CMakeFiles/daiet.dir/src/core/reliable.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/core/reliable.cpp.o.d"
+  "/root/repo/src/core/switch_agent.cpp" "CMakeFiles/daiet.dir/src/core/switch_agent.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/core/switch_agent.cpp.o.d"
+  "/root/repo/src/core/worker.cpp" "CMakeFiles/daiet.dir/src/core/worker.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/core/worker.cpp.o.d"
+  "/root/repo/src/dataplane/pipeline.cpp" "CMakeFiles/daiet.dir/src/dataplane/pipeline.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/dataplane/pipeline.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "CMakeFiles/daiet.dir/src/graph/algorithms.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/generator.cpp" "CMakeFiles/daiet.dir/src/graph/generator.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/graph/generator.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/daiet.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/mapreduce/corpus.cpp" "CMakeFiles/daiet.dir/src/mapreduce/corpus.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/mapreduce/corpus.cpp.o.d"
+  "/root/repo/src/mapreduce/job.cpp" "CMakeFiles/daiet.dir/src/mapreduce/job.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/mapreduce/job.cpp.o.d"
+  "/root/repo/src/mapreduce/reduce.cpp" "CMakeFiles/daiet.dir/src/mapreduce/reduce.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/mapreduce/reduce.cpp.o.d"
+  "/root/repo/src/mapreduce/wordcount.cpp" "CMakeFiles/daiet.dir/src/mapreduce/wordcount.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/mapreduce/wordcount.cpp.o.d"
+  "/root/repo/src/ml/mnist.cpp" "CMakeFiles/daiet.dir/src/ml/mnist.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/ml/mnist.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "CMakeFiles/daiet.dir/src/ml/model.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/ml/model.cpp.o.d"
+  "/root/repo/src/ml/training.cpp" "CMakeFiles/daiet.dir/src/ml/training.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/ml/training.cpp.o.d"
+  "/root/repo/src/netsim/headers.cpp" "CMakeFiles/daiet.dir/src/netsim/headers.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/netsim/headers.cpp.o.d"
+  "/root/repo/src/netsim/host.cpp" "CMakeFiles/daiet.dir/src/netsim/host.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/netsim/host.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "CMakeFiles/daiet.dir/src/netsim/link.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/netsim/link.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "CMakeFiles/daiet.dir/src/netsim/network.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/netsim/network.cpp.o.d"
+  "/root/repo/src/netsim/switch_node.cpp" "CMakeFiles/daiet.dir/src/netsim/switch_node.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/netsim/switch_node.cpp.o.d"
+  "/root/repo/src/netsim/tcp.cpp" "CMakeFiles/daiet.dir/src/netsim/tcp.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/netsim/tcp.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "CMakeFiles/daiet.dir/src/runtime/cluster.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/runtime/cluster.cpp.o.d"
+  "/root/repo/src/runtime/job_driver.cpp" "CMakeFiles/daiet.dir/src/runtime/job_driver.cpp.o" "gcc" "CMakeFiles/daiet.dir/src/runtime/job_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_test.dir/tests/dataplane_test.cpp.o"
+  "CMakeFiles/dataplane_test.dir/tests/dataplane_test.cpp.o.d"
+  "dataplane_test"
+  "dataplane_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_worker_sweep.dir/bench/fig1_worker_sweep.cpp.o"
+  "CMakeFiles/fig1_worker_sweep.dir/bench/fig1_worker_sweep.cpp.o.d"
+  "fig1_worker_sweep"
+  "fig1_worker_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_worker_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

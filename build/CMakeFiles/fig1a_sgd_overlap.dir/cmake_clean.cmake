@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_sgd_overlap.dir/bench/fig1a_sgd_overlap.cpp.o"
+  "CMakeFiles/fig1a_sgd_overlap.dir/bench/fig1a_sgd_overlap.cpp.o.d"
+  "fig1a_sgd_overlap"
+  "fig1a_sgd_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_sgd_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

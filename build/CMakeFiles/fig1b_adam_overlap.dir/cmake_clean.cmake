@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_adam_overlap.dir/bench/fig1b_adam_overlap.cpp.o"
+  "CMakeFiles/fig1b_adam_overlap.dir/bench/fig1b_adam_overlap.cpp.o.d"
+  "fig1b_adam_overlap"
+  "fig1b_adam_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_adam_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_graph_reduction.dir/bench/fig1c_graph_reduction.cpp.o"
+  "CMakeFiles/fig1c_graph_reduction.dir/bench/fig1c_graph_reduction.cpp.o.d"
+  "fig1c_graph_reduction"
+  "fig1c_graph_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_graph_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1c_graph_reduction.
+# This may be replaced when dependencies are built.

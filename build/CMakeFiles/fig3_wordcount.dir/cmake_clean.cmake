@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_wordcount.dir/bench/fig3_wordcount.cpp.o"
+  "CMakeFiles/fig3_wordcount.dir/bench/fig3_wordcount.cpp.o.d"
+  "fig3_wordcount"
+  "fig3_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_switch_agent.dir/bench/micro_switch_agent.cpp.o"
+  "CMakeFiles/micro_switch_agent.dir/bench/micro_switch_agent.cpp.o.d"
+  "micro_switch_agent"
+  "micro_switch_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_switch_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_param_server.dir/examples/ml_param_server.cpp.o"
+  "CMakeFiles/ml_param_server.dir/examples/ml_param_server.cpp.o.d"
+  "ml_param_server"
+  "ml_param_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_param_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_program_test.dir/tests/pipeline_program_test.cpp.o"
+  "CMakeFiles/pipeline_program_test.dir/tests/pipeline_program_test.cpp.o.d"
+  "pipeline_program_test"
+  "pipeline_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_agent_test.dir/tests/switch_agent_test.cpp.o"
+  "CMakeFiles/switch_agent_test.dir/tests/switch_agent_test.cpp.o.d"
+  "switch_agent_test"
+  "switch_agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_cluster.dir/examples/wordcount_cluster.cpp.o"
+  "CMakeFiles/wordcount_cluster.dir/examples/wordcount_cluster.cpp.o.d"
+  "wordcount_cluster"
+  "wordcount_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

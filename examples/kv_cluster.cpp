@@ -1,0 +1,132 @@
+// kv_cluster: the in-network key-value cache, co-resident with DAIET
+// aggregation on one fabric.
+//
+//   h1..h4 (kv clients) --+                    +-- h0 (kv storage server)
+//                         |   leaf-spine       |
+//   h5, h6 (mappers) -----+   2 leaves x       +-- h7 (reducer)
+//                         |   2 spines         |
+//                         +--- all programmable switches ---+
+//
+// Act 1 runs a skewed GET/PUT workload without a cache, then with a
+// NetCache-style cache tenant on the server's leaf switch, and prints
+// the hit-rate / latency / server-load comparison.
+// Act 2 re-runs the cached workload while a DAIET aggregation job
+// crosses the same switches — two different switch programs sharing
+// one chip's SRAM and port map.
+//
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/kv_cluster
+#include <cstdio>
+
+#include "kvcache/service.hpp"
+#include "runtime/job_driver.hpp"
+
+namespace {
+
+using namespace daiet;
+
+rt::ClusterOptions fabric() {
+    rt::ClusterOptions opts;
+    opts.topology = rt::TopologyKind::kLeafSpine;
+    opts.n_leaf = 2;
+    opts.n_spine = 2;
+    opts.num_hosts = 8;
+    opts.config.max_trees = 2;
+    opts.config.register_size = 1024;
+    return opts;
+}
+
+kv::KvWorkload workload() {
+    kv::KvWorkload wl;
+    wl.num_keys = 1024;
+    wl.zipf_s = 0.99;
+    wl.requests_per_client = 500;
+    wl.get_fraction = 0.95;
+    // Four clients at one request per 40us exactly match the server's
+    // service rate: the uncached system sits at its saturation knee,
+    // which is where absorbing the hot set in the switch pays most.
+    wl.request_interval = 40 * sim::kMicrosecond;
+    wl.rebalance_interval = 50 * sim::kMicrosecond;
+    return wl;
+}
+
+kv::KvServiceOptions kv_options(bool cached) {
+    kv::KvServiceOptions opts;
+    opts.server_host = 0;
+    opts.client_hosts = {1, 2, 3, 4};
+    opts.cache_enabled = cached;
+    opts.config.cache_slots = 128;
+    return opts;
+}
+
+void print_run(const char* label, const kv::KvRunStats& stats) {
+    std::printf("%-22s hit rate %5.1f%%  mean GET %7.1f us  p99 GET %8.1f us  "
+                "server GETs %5llu\n",
+                label, 100.0 * stats.hit_rate(), stats.mean_get_ns / 1000.0,
+                stats.p99_get_ns / 1000.0,
+                static_cast<unsigned long long>(stats.server_gets));
+}
+
+}  // namespace
+
+int main() {
+    // --- act 1: cache off vs cache on ---------------------------------------
+    std::puts("act 1: Zipf(0.99) GET/PUT workload, 4 clients -> 1 server\n");
+    kv::KvRunStats baseline;
+    {
+        rt::ClusterRuntime rt{fabric()};
+        kv::KvService svc{rt, kv_options(false)};
+        baseline = svc.run(workload());
+        print_run("no cache", baseline);
+    }
+    kv::KvRunStats cached;
+    {
+        rt::ClusterRuntime rt{fabric()};
+        kv::KvService svc{rt, kv_options(true)};
+        cached = svc.run(workload());
+        print_run("128-slot switch cache", cached);
+    }
+    std::printf("\nthe cache served %.1f%% of GETs from switch SRAM and cut "
+                "mean GET latency %.1fx\n\n",
+                100.0 * cached.hit_rate(),
+                baseline.mean_get_ns / cached.mean_get_ns);
+
+    // --- act 2: kv cache and DAIET aggregation on one fabric -----------------
+    std::puts("act 2: same kv workload, now sharing the fabric with an "
+              "aggregation job\n");
+    rt::ClusterRuntime rt{fabric()};
+    kv::KvService svc{rt, kv_options(true)};
+    svc.schedule(workload());
+
+    rt::JobSpec spec;
+    spec.name = "co-tenant";
+    rt::JobGroup group;
+    group.reducer = &rt.host(7);
+    group.mappers = {&rt.host(5), &rt.host(6)};
+    spec.groups.push_back(group);
+    rt::JobDriver driver{rt, spec};
+    driver.begin_round();
+    auto receivers = driver.bind_receivers();
+    driver.schedule_sends([](std::size_t, std::size_t mapper, MapperSender& tx) {
+        for (int i = 0; i < 200; ++i) {
+            tx.send(KvPair{Key16{"word" + std::to_string(i % 40)},
+                           wire_from_i32(static_cast<std::int32_t>(mapper + 1))});
+        }
+    });
+    rt.run();
+    driver.verify(receivers);
+    const rt::RoundStats round = driver.collect(receivers);
+    const kv::KvRunStats kv_stats = svc.collect();
+
+    print_run("kv (with co-tenant)", kv_stats);
+    std::printf("aggregation job:       %llu pairs in -> %llu pairs out "
+                "(%.1f%% traffic reduction), verified clean\n",
+                static_cast<unsigned long long>(round.pairs_sent),
+                static_cast<unsigned long long>(round.pairs_received),
+                100.0 * round.traffic_reduction());
+    std::printf("shared chip %u:        %zu bytes SRAM in use by "
+                "daiet + kvcache tenants\n",
+                svc.cache_node(),
+                rt.chip_at(svc.cache_node()).sram().used_bytes());
+    return 0;
+}

@@ -24,22 +24,20 @@ DaietSwitchProgram::Slot::Slot(const Config& cfg, std::size_t slot_idx,
       dirty{"t" + std::to_string(slot_idx) + ".dirty", 1, sram} {}
 
 DaietSwitchProgram::DaietSwitchProgram(Config config, dp::PipelineSwitch& chip)
-    : config_{config},
+    : DaietSwitchProgram{config, chip,
+                         std::make_shared<FabricRouter>(chip.sram())} {}
+
+DaietSwitchProgram::DaietSwitchProgram(Config config, dp::PipelineSwitch& chip,
+                                       std::shared_ptr<FabricRouter> router)
+    : TenantProgram{std::move(router)},
+      config_{config},
       chip_{&chip},
-      tree_table_{"daiet_tree", std::max<std::size_t>(config.max_trees, 1), chip.sram()},
-      route_table_{"l2_route", 4096, chip.sram()} {
+      tree_table_{"daiet_tree", std::max<std::size_t>(config.max_trees, 1),
+                  chip.sram()} {
     slots_.reserve(config_.max_trees);
     for (std::size_t s = 0; s < config_.max_trees; ++s) {
         slots_.push_back(std::make_unique<Slot>(config_, s, chip.sram()));
     }
-}
-
-void DaietSwitchProgram::install_route(sim::HostAddr dst, std::vector<dp::PortId> ports) {
-    DAIET_EXPECTS(!ports.empty());
-    RoutePorts rp;
-    rp.count = static_cast<std::uint8_t>(std::min<std::size_t>(ports.size(), rp.ports.size()));
-    for (std::size_t i = 0; i < rp.count; ++i) rp.ports[i] = ports[i];
-    route_table_.install(dst, rp);
 }
 
 void DaietSwitchProgram::configure_tree(TreeId tree, const TreeRule& rule) {
@@ -120,29 +118,15 @@ std::size_t DaietSwitchProgram::held_pairs(TreeId tree) const {
     return slot.stack_depth.peek(0) + slot.spill_count.peek(0);
 }
 
-void DaietSwitchProgram::on_packet(dp::PacketContext& ctx) {
-    // --- parser --------------------------------------------------------------
-    ctx.count_op(dp::OpKind::kParse);  // Ethernet
-    const auto frame = sim::parse_frame(ctx.packet().payload());
-    if (!frame) {
-        ctx.mark_drop();
-        return;
-    }
-    ctx.count_op(dp::OpKind::kParse);  // IPv4
-    if (frame->udp) {
-        ctx.count_op(dp::OpKind::kParse);  // UDP
-        const auto payload = frame->payload_of(ctx.packet().payload());
-        if (frame->udp->dst_port == config_.udp_port && looks_like_daiet(payload)) {
-            handle_daiet(ctx, *frame, payload);
-            return;
-        }
-    }
-    forward_plain(ctx, *frame);
+bool DaietSwitchProgram::claims(const sim::ParsedFrame& frame,
+                                std::span<const std::byte> payload) const {
+    return frame.udp && frame.udp->dst_port == config_.udp_port &&
+           looks_like_daiet(payload);
 }
 
-void DaietSwitchProgram::handle_daiet(dp::PacketContext& ctx,
-                                      const sim::ParsedFrame& frame,
-                                      std::span<const std::byte> payload) {
+bool DaietSwitchProgram::on_claimed(dp::PacketContext& ctx,
+                                    const sim::ParsedFrame& /*frame*/,
+                                    std::span<const std::byte> payload) {
     ctx.count_op(dp::OpKind::kParse);  // DAIET preamble
     DaietPacket packet = parse_packet(payload);
     const TreeId tree = std::holds_alternative<DataPacket>(packet)
@@ -151,12 +135,11 @@ void DaietSwitchProgram::handle_daiet(dp::PacketContext& ctx,
 
     const TreeRule* rule = tree_table_.apply(ctx, tree);
     if (rule == nullptr) {
-        // No rule on this switch: behave like plain forwarding so that a
-        // partially deployed DAIET network stays correct (§2: the
-        // application "should be no worse than without in-network
+        // No rule on this switch: fall through to plain forwarding so
+        // that a partially deployed DAIET network stays correct (§2:
+        // the application "should be no worse than without in-network
         // computation").
-        forward_plain(ctx, frame);
-        return;
+        return false;
     }
 
     Slot& slot = *slots_[rule->slot];
@@ -165,6 +148,7 @@ void DaietSwitchProgram::handle_daiet(dp::PacketContext& ctx,
     } else {
         handle_end(ctx, tree, *rule, slot, std::get<EndPacket>(packet));
     }
+    return true;
 }
 
 void DaietSwitchProgram::handle_data(dp::PacketContext& ctx, const TreeRule& rule,
@@ -351,36 +335,6 @@ void DaietSwitchProgram::emit_end(dp::PacketContext& ctx, TreeId tree,
     dp::Packet out{std::move(frame)};
     out.meta().egress_port = rule.out_port;
     ctx.emit(std::move(out));
-}
-
-void DaietSwitchProgram::forward_plain(dp::PacketContext& ctx,
-                                       const sim::ParsedFrame& frame) {
-    const RoutePorts* route = route_table_.apply(ctx, frame.ip.dst);
-    if (route == nullptr || route->count == 0) {
-        ctx.mark_drop();
-        return;
-    }
-    std::size_t choice = 0;
-    if (route->count > 1) {
-        // ECMP flow hash over the 5-tuple via the switch hash unit.
-        ByteWriter w;
-        w.put_u32(frame.ip.src);
-        w.put_u32(frame.ip.dst);
-        w.put_u8(frame.ip.protocol);
-        if (frame.udp) {
-            w.put_u16(frame.udp->src_port);
-            w.put_u16(frame.udp->dst_port);
-        } else if (frame.tcp) {
-            w.put_u16(frame.tcp->src_port);
-            w.put_u16(frame.tcp->dst_port);
-        }
-        choice = ctx.hash(w.bytes()) % route->count;
-        const dp::PortId candidate = route->ports[choice];
-        if (candidate == ctx.packet().meta().ingress_port && route->count > 1) {
-            choice = (choice + 1) % route->count;
-        }
-    }
-    ctx.set_egress(route->ports[choice]);
 }
 
 std::shared_ptr<DaietSwitchProgram> load_daiet_program(Config config,

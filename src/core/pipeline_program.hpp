@@ -8,7 +8,8 @@
 //              (N = max_pairs_per_packet; the parse budget of real P4
 //              hardware is what caps N at ~10, §5)
 //   tables:    "daiet_tree"  TreeId -> {slot, fn, out_port, children, dst}
-//              "l2_route"    HostAddr -> ECMP port set (non-DAIET traffic)
+//              "l2_route"    HostAddr -> ECMP ports (the shared FabricRouter;
+//              non-DAIET traffic and partial deployments fall through to it)
 //   registers: per tree slot: keys[R], values[R], index_stack[R],
 //              stack_depth[1], spill[S], spill_count[1], children[1]
 //   flush:     END-triggered drain emits one packet per pipeline pass,
@@ -26,6 +27,7 @@
 #include "core/config.hpp"
 #include "core/protocol.hpp"
 #include "core/switch_agent.hpp"
+#include "core/tenancy.hpp"
 #include "dataplane/match_table.hpp"
 #include "dataplane/pipeline_switch.hpp"
 #include "dataplane/register_array.hpp"
@@ -44,21 +46,20 @@ struct TreeRule {
     sim::HostAddr flush_dst{0};  ///< address emitted flush frames carry (tree root)
 };
 
-/// ECMP next-hop set, sized for trivially-copyable table storage.
-struct RoutePorts {
-    std::array<dp::PortId, 8> ports{};
-    std::uint8_t count{0};
-};
-
-class DaietSwitchProgram : public dp::PipelineProgram, public sim::RouteSink {
+class DaietSwitchProgram : public TenantProgram {
 public:
     /// Allocates all per-tree register state up front from the chip's
     /// SRAM book, as a P4 compile would. Throws dp::ResourceError if the
-    /// configuration does not fit the chip.
+    /// configuration does not fit the chip. This standalone form owns a
+    /// private FabricRouter (single-tenant chip).
     DaietSwitchProgram(Config config, dp::PipelineSwitch& chip);
 
+    /// Co-resident form: resolve ports through the chip's shared router
+    /// (the SwitchProgramMux arrangement built by ClusterRuntime).
+    DaietSwitchProgram(Config config, dp::PipelineSwitch& chip,
+                       std::shared_ptr<FabricRouter> router);
+
     // --- control plane ------------------------------------------------------
-    void install_route(sim::HostAddr dst, std::vector<dp::PortId> ports) override;
     void configure_tree(TreeId tree, const TreeRule& rule);
     /// Re-arm a completed tree for another round (iterative workloads).
     void reset_tree(TreeId tree, std::uint32_t num_children);
@@ -67,7 +68,10 @@ public:
     void clear_tree(TreeId tree, std::uint32_t num_children);
 
     // --- data plane ---------------------------------------------------------
-    void on_packet(dp::PacketContext& ctx) override;
+    bool claims(const sim::ParsedFrame& frame,
+                std::span<const std::byte> payload) const override;
+    bool on_claimed(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
+                    std::span<const std::byte> payload) override;
     std::string name() const override { return "daiet"; }
 
     // --- observability ------------------------------------------------------
@@ -95,13 +99,10 @@ private:
         Slot(const Config& cfg, std::size_t slot_idx, dp::SramBook& sram);
     };
 
-    void handle_daiet(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
-                      std::span<const std::byte> payload);
     void handle_data(dp::PacketContext& ctx, const TreeRule& rule, Slot& slot,
                      const DataPacket& data);
     void handle_end(dp::PacketContext& ctx, TreeId tree, const TreeRule& rule,
                     Slot& slot, const EndPacket& end);
-    void forward_plain(dp::PacketContext& ctx, const sim::ParsedFrame& frame);
 
     /// Emit one DAIET DATA frame carrying `pairs` out of the tree port.
     void emit_pairs(dp::PacketContext& ctx, TreeId tree, const TreeRule& rule,
@@ -119,7 +120,6 @@ private:
     Config config_;
     dp::PipelineSwitch* chip_;
     dp::ExactMatchTable<TreeId, TreeRule> tree_table_;
-    dp::ExactMatchTable<sim::HostAddr, RoutePorts> route_table_;
     std::vector<std::unique_ptr<Slot>> slots_;
     std::uint16_t next_slot_{0};
 };

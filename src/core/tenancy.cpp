@@ -1,0 +1,144 @@
+#include "core/tenancy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/contracts.hpp"
+
+namespace daiet {
+
+// --------------------------------------------------------- FabricRouter
+
+FabricRouter::FabricRouter(dp::SramBook& book, std::size_t capacity)
+    : table_{"l2_route", capacity, book} {}
+
+void FabricRouter::install(sim::HostAddr dst, std::vector<dp::PortId> ports) {
+    DAIET_EXPECTS(!ports.empty());
+    RoutePorts rp;
+    rp.count = static_cast<std::uint8_t>(
+        std::min<std::size_t>(ports.size(), rp.ports.size()));
+    for (std::size_t i = 0; i < rp.count; ++i) rp.ports[i] = ports[i];
+    table_.install(dst, rp);
+}
+
+void FabricRouter::forward(dp::PacketContext& ctx,
+                           const sim::ParsedFrame& frame) const {
+    const RoutePorts* route = table_.apply(ctx, frame.ip.dst);
+    if (route == nullptr || route->count == 0) {
+        ctx.mark_drop();
+        return;
+    }
+    std::size_t choice = 0;
+    if (route->count > 1) {
+        // ECMP flow hash over the 5-tuple via the switch hash unit.
+        ByteWriter w;
+        w.put_u32(frame.ip.src);
+        w.put_u32(frame.ip.dst);
+        w.put_u8(frame.ip.protocol);
+        if (frame.udp) {
+            w.put_u16(frame.udp->src_port);
+            w.put_u16(frame.udp->dst_port);
+        } else if (frame.tcp) {
+            w.put_u16(frame.tcp->src_port);
+            w.put_u16(frame.tcp->dst_port);
+        }
+        choice = ctx.hash(w.bytes()) % route->count;
+        if (route->ports[choice] == ctx.packet().meta().ingress_port) {
+            choice = (choice + 1) % route->count;
+        }
+    }
+    ctx.set_egress(route->ports[choice]);
+}
+
+// ------------------------------------------------------- shared parser
+
+std::optional<sim::ParsedFrame> parse_frame_with_ops(dp::PacketContext& ctx) {
+    ctx.count_op(dp::OpKind::kParse);  // Ethernet
+    auto frame = sim::parse_frame(ctx.packet().payload());
+    if (!frame) {
+        ctx.mark_drop();
+        return std::nullopt;
+    }
+    ctx.count_op(dp::OpKind::kParse);  // IPv4
+    if (frame->udp) {
+        ctx.count_op(dp::OpKind::kParse);  // UDP
+    }
+    return frame;
+}
+
+namespace {
+
+/// The one dispatch loop both the mux and standalone tenants run.
+void dispatch(dp::PacketContext& ctx, const FabricRouter& router,
+              std::span<const std::shared_ptr<TenantProgram>> tenants) {
+    const auto frame = parse_frame_with_ops(ctx);
+    if (!frame) return;
+    if (frame->udp) {
+        const auto payload = frame->payload_of(ctx.packet().payload());
+        for (const auto& tenant : tenants) {
+            if (!tenant->claims(*frame, payload)) continue;
+            if (tenant->on_claimed(ctx, *frame, payload)) return;
+            break;  // claimed but declined: fall through to plain forwarding
+        }
+    }
+    router.forward(ctx, *frame);
+}
+
+}  // namespace
+
+// ------------------------------------------------------- TenantProgram
+
+TenantProgram::TenantProgram(std::shared_ptr<FabricRouter> router)
+    : router_{std::move(router)} {
+    DAIET_EXPECTS(router_ != nullptr);
+}
+
+void TenantProgram::on_packet(dp::PacketContext& ctx) {
+    // Standalone mode: this tenant is the chip's entire pipeline.
+    const std::shared_ptr<TenantProgram> self{std::shared_ptr<TenantProgram>{}, this};
+    dispatch(ctx, *router_, std::span{&self, 1});
+}
+
+// ---------------------------------------------------- SwitchProgramMux
+
+SwitchProgramMux::SwitchProgramMux(std::shared_ptr<FabricRouter> router)
+    : router_{std::move(router)} {
+    DAIET_EXPECTS(router_ != nullptr);
+}
+
+void SwitchProgramMux::add_tenant(std::shared_ptr<TenantProgram> tenant) {
+    DAIET_EXPECTS(tenant != nullptr);
+    DAIET_EXPECTS(tenant->shared_router().get() == router_.get());
+    // A duplicate name is a deployment conflict (e.g. two services
+    // claiming the same switch), not a programming error: reject it
+    // with a catchable exception.
+    if (this->tenant(tenant->name()) != nullptr) {
+        throw std::runtime_error{"SwitchProgramMux: a tenant named '" +
+                                 tenant->name() + "' is already resident"};
+    }
+    tenants_.push_back(std::move(tenant));
+}
+
+TenantProgram* SwitchProgramMux::tenant(std::string_view name) const {
+    for (const auto& t : tenants_) {
+        if (t->name() == name) return t.get();
+    }
+    return nullptr;
+}
+
+void SwitchProgramMux::on_packet(dp::PacketContext& ctx) {
+    dispatch(ctx, *router_, tenants_);
+}
+
+std::string SwitchProgramMux::name() const {
+    std::string n = "mux[";
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if (i > 0) n += ",";
+        n += tenants_[i]->name();
+    }
+    return n + "]";
+}
+
+}  // namespace daiet

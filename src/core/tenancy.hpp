@@ -1,0 +1,142 @@
+// Switch-program multi-tenancy: several dataplane programs sharing one
+// programmable chip.
+//
+// The paper's closing argument is that a programmable switch should run
+// *application logic in general*, not one hard-wired function; on real
+// hardware distinct P4 control blocks are compiled into a single
+// pipeline and share the chip's SRAM and its forwarding tables. We
+// model that split explicitly:
+//
+//   * FabricRouter — the one destination-routing table per chip (the
+//     "port map"). Plain traffic, DAIET flushes and kv-cache replies
+//     all resolve egress ports here, and its SRAM footprint is charged
+//     once, not per tenant.
+//   * TenantProgram — a dataplane program that claims a slice of the
+//     traffic (by UDP port / magic) and handles only that slice. A
+//     tenant is still a complete dp::PipelineProgram, so a chip with a
+//     single tenant loads it directly, exactly as before.
+//   * SwitchProgramMux — the compiled pipeline of a multi-tenant chip:
+//     parses once, asks each tenant in registration order to claim the
+//     packet, and falls back to plain ECMP forwarding. This is what
+//     lets DAIET aggregation and the NetCache-style kv cache coexist
+//     on one fabric, arbitrated by a shared SramBook.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataplane/match_table.hpp"
+#include "dataplane/pipeline.hpp"
+#include "netsim/headers.hpp"
+#include "netsim/switch_node.hpp"
+
+namespace daiet {
+
+/// ECMP next-hop set, sized for trivially-copyable table storage.
+struct RoutePorts {
+    std::array<dp::PortId, 8> ports{};
+    std::uint8_t count{0};
+};
+
+/// The chip's destination-routing table plus the ECMP selection logic
+/// every resident program shares. One instance per programmable switch;
+/// its SRAM footprint is reserved once from the chip's book.
+class FabricRouter {
+public:
+    explicit FabricRouter(dp::SramBook& book, std::size_t capacity = 4096);
+
+    // --- control plane ------------------------------------------------------
+    void install(sim::HostAddr dst, std::vector<dp::PortId> ports);
+
+    // --- data plane ---------------------------------------------------------
+    /// Route the current packet: ECMP over the 5-tuple via the switch
+    /// hash unit, never bouncing out of the ingress port when an
+    /// alternative exists. Sets the egress port or marks a drop.
+    void forward(dp::PacketContext& ctx, const sim::ParsedFrame& frame) const;
+
+    /// Table lookup for program-emitted packets (charged as one table
+    /// application; at most once per pass like any table).
+    const RoutePorts* apply(dp::PacketContext& ctx, sim::HostAddr dst) const {
+        return table_.apply(ctx, dst);
+    }
+
+    /// Control-plane lookup (not op-charged).
+    const RoutePorts* peek(sim::HostAddr dst) const { return table_.peek(dst); }
+
+    std::size_t size() const noexcept { return table_.size(); }
+
+private:
+    dp::ExactMatchTable<sim::HostAddr, RoutePorts> table_;
+};
+
+/// A co-resident dataplane program: claims its slice of the traffic and
+/// processes it against its own registers/tables, resolving ports
+/// through the shared FabricRouter. Also a complete PipelineProgram, so
+/// a single-tenant chip loads it directly (no mux indirection).
+class TenantProgram : public dp::PipelineProgram, public sim::RouteSink {
+public:
+    explicit TenantProgram(std::shared_ptr<FabricRouter> router);
+
+    /// True when this tenant owns the (UDP) packet — typically a port
+    /// plus protocol-magic check, the parser-level classification a P4
+    /// compiler turns into parser states.
+    virtual bool claims(const sim::ParsedFrame& frame,
+                        std::span<const std::byte> payload) const = 0;
+
+    /// Handle a claimed packet. Return false to decline after all (no
+    /// matching rule on this switch): the packet then falls through to
+    /// plain forwarding, keeping partial deployments correct.
+    virtual bool on_claimed(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
+                            std::span<const std::byte> payload) = 0;
+
+    // --- single-tenant (standalone) operation -------------------------------
+    void on_packet(dp::PacketContext& ctx) final;
+    void install_route(sim::HostAddr dst, std::vector<dp::PortId> ports) final {
+        router_->install(dst, std::move(ports));
+    }
+
+    FabricRouter& router() noexcept { return *router_; }
+    const FabricRouter& router() const noexcept { return *router_; }
+    std::shared_ptr<FabricRouter> shared_router() const noexcept { return router_; }
+
+private:
+    std::shared_ptr<FabricRouter> router_;
+};
+
+/// The pipeline of a multi-tenant chip: parse once, dispatch to the
+/// first tenant that claims the packet, fall back to plain forwarding.
+class SwitchProgramMux : public dp::PipelineProgram, public sim::RouteSink {
+public:
+    explicit SwitchProgramMux(std::shared_ptr<FabricRouter> router);
+
+    /// Register a tenant. Tenants are offered packets in registration
+    /// order; they must have been built against this mux's router.
+    void add_tenant(std::shared_ptr<TenantProgram> tenant);
+
+    TenantProgram* tenant(std::string_view name) const;
+    std::size_t num_tenants() const noexcept { return tenants_.size(); }
+
+    void on_packet(dp::PacketContext& ctx) override;
+    std::string name() const override;
+    void install_route(sim::HostAddr dst, std::vector<dp::PortId> ports) override {
+        router_->install(dst, std::move(ports));
+    }
+
+    FabricRouter& router() noexcept { return *router_; }
+
+private:
+    std::shared_ptr<FabricRouter> router_;
+    std::vector<std::shared_ptr<TenantProgram>> tenants_;
+};
+
+/// Shared parser front end: Ethernet -> IPv4 -> UDP/TCP with the same
+/// per-header op charges a P4 parser would incur. Returns nullopt (and
+/// marks a drop) for frames the fabric cannot carry.
+std::optional<sim::ParsedFrame> parse_frame_with_ops(dp::PacketContext& ctx);
+
+}  // namespace daiet

@@ -1,0 +1,38 @@
+// Deployment configuration for the kv cache workload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "netsim/time.hpp"
+
+namespace daiet::kv {
+
+struct KvConfig {
+    /// UDP port the storage server listens on; GET/PUT requests carry
+    /// it as their destination port, which is how switch caches
+    /// classify kv traffic (the NetCache trick: the cache is invisible
+    /// to clients, it impersonates the server).
+    std::uint16_t server_udp_port{5100};
+
+    /// UDP port clients bind for replies (one kv client per host).
+    std::uint16_t client_udp_port{5101};
+
+    /// Cache entries per switch (key -> value register slots). 0
+    /// disables in-network caching entirely (the baseline).
+    std::size_t cache_slots{512};
+
+    /// Cells in the hashed in-flight-write register (outstanding PUTs
+    /// between this switch and their returning ACKs, the coherence
+    /// guard for promotion).
+    std::size_t write_flight_cells{4096};
+
+    /// Per-request service time of the storage server's (single)
+    /// worker: the userspace stack + storage lookup a switch cache
+    /// bypasses. Requests queue behind each other, so a skewed hot set
+    /// drives the server toward saturation — the load NetCache-style
+    /// caching absorbs.
+    sim::SimTime server_service_time{10 * sim::kMicrosecond};
+};
+
+}  // namespace daiet::kv

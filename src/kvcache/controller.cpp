@@ -1,0 +1,68 @@
+#include "kvcache/controller.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <unordered_set>
+#include <vector>
+
+namespace daiet::kv {
+
+void KvCacheController::rebalance() {
+    ++stats_.rebalances;
+
+    // Age the smoothed scores, then fold in this window's two hotness
+    // views: a cached key's switch hit counter (plus any server
+    // accesses it took while invalidated) and every candidate's misses
+    // that reached the server.
+    for (auto it = score_.begin(); it != score_.end();) {
+        it->second *= kScoreDecay;
+        it = it->second < 1.0 / 64.0 ? score_.erase(it) : std::next(it);
+    }
+    for (const auto& [key, hits] : cache_->hit_counts()) {
+        score_[key] += static_cast<double>(hits);
+    }
+    for (const auto& [key, count] : server_->access_log()) {
+        score_[key] += static_cast<double>(count);
+    }
+
+    std::vector<std::pair<Key16, double>> ranked{score_.begin(), score_.end()};
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;  // deterministic tie-break
+    });
+
+    // The target hot set: the top-K keys that exist in the store (a
+    // missing key has nothing to cache).
+    std::unordered_set<Key16> target;
+    for (const auto& [key, score] : ranked) {
+        if (target.size() >= cache_->capacity()) break;
+        if (score <= 0.0) break;
+        if (!server_->store().contains(key)) continue;
+        target.insert(key);
+    }
+
+    // Evict cold entries first so their slots are free for promotions.
+    for (const auto& [key, hits] : cache_->hit_counts()) {
+        if (!target.contains(key)) {
+            cache_->erase(key);
+            ++stats_.evictions;
+        }
+    }
+    // (Re-)install every target key. For already-cached keys this
+    // refreshes the snapshot and repairs collision-stuck pending
+    // counters; keys with writes in flight go in as shadow entries
+    // that the final ACK validates (see KvCacheSwitchProgram::insert).
+    for (const Key16& key : target) {
+        const bool fresh = !cache_->contains(key);
+        if (cache_->insert(key, server_->store().at(key)) && fresh) {
+            ++stats_.promotions;
+            if (cache_->outstanding_writes(key) != 0) ++stats_.shadow_promotions;
+        }
+    }
+
+    // Open the next observation window.
+    cache_->reset_hot_counters();
+    server_->clear_access_log();
+}
+
+}  // namespace daiet::kv

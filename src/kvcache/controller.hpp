@@ -1,0 +1,57 @@
+// Hot-key cache controller: NetCache's control-plane half.
+//
+// The dataplane only counts — per-slot hit registers at the switch, a
+// per-key access log at the server (every access the cache failed to
+// absorb). The controller periodically merges the two views, keeps the
+// hottest cache_slots keys cached, and writes values through from the
+// server's authoritative store. Promotion/eviction thus never races
+// the dataplane's coherence protocol: a newly promoted key starts from
+// the server's current value, and a PUT arriving later still
+// invalidates it in-line.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "kvcache/store.hpp"
+#include "kvcache/switch_program.hpp"
+
+namespace daiet::kv {
+
+class KvCacheController {
+public:
+    struct Stats {
+        std::uint64_t rebalances{0};
+        std::uint64_t promotions{0};
+        std::uint64_t evictions{0};
+        /// Promotions installed invalid (a write was in flight); the
+        /// write's own ACK validates them with the serialized value.
+        std::uint64_t shadow_promotions{0};
+    };
+
+    KvCacheController(KvCacheSwitchProgram& cache, KvStoreServer& server)
+        : cache_{&cache}, server_{&server} {}
+
+    /// Close the current observation window: fold the switch hit
+    /// counters and the server's access log into the exponentially
+    /// smoothed per-key hotness scores, install the top-K keys by
+    /// score, and reset the window counters. The smoothing is what
+    /// keeps short windows from thrashing the cache — a hot key's
+    /// score persists across windows it happens to sit out. Fully
+    /// deterministic (score-desc, key-asc tie-break).
+    void rebalance();
+
+    const Stats& stats() const noexcept { return stats_; }
+
+    /// Per-window decay of the hotness scores (0 = only the last
+    /// window counts, 1 = never forget).
+    static constexpr double kScoreDecay = 0.95;
+
+private:
+    KvCacheSwitchProgram* cache_;
+    KvStoreServer* server_;
+    std::unordered_map<Key16, double> score_;
+    Stats stats_;
+};
+
+}  // namespace daiet::kv

@@ -1,0 +1,66 @@
+// Key-value wire protocol for the in-network cache.
+//
+// The kv service is the second workload family the paper's thesis
+// predicts for programmable switches (NetCache-style request serving:
+// "in-network computation is not limited to data aggregation"). Every
+// message is a single fixed-size UDP payload — like DAIET's pairs, a
+// fixed layout is what lets a P4 parser extract the key and value
+// within its 200-300 B parse budget, and it reuses the same FixedKey /
+// WireValue cells the aggregation registers store.
+//
+// Layout (big-endian):
+//   magic(2) op(1) flags(1) req_id(4) key(16) value(4) = 28 B
+//
+// GET carries an empty value; GET_REPLY and PUT_ACK echo the request id
+// so clients can match responses and measure per-request latency.
+// FLAG_FROM_SWITCH marks a reply served by a switch cache rather than
+// the storage server — the hit-rate observability the controller and
+// the benchmarks read.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_key.hpp"
+#include "core/aggregation.hpp"
+
+namespace daiet::kv {
+
+inline constexpr std::uint16_t kKvMagic = 0xCAC4;
+
+enum class KvOp : std::uint8_t {
+    kGet = 1,
+    kGetReply = 2,
+    kPut = 3,
+    kPutAck = 4,
+};
+
+inline constexpr std::uint8_t kKvFlagFound = 0x01;       ///< key exists
+inline constexpr std::uint8_t kKvFlagFromSwitch = 0x02;  ///< served by a cache
+
+struct KvMessage {
+    KvOp op{KvOp::kGet};
+    std::uint8_t flags{0};
+    std::uint32_t req_id{0};
+    Key16 key{};
+    WireValue value{0};
+
+    bool found() const noexcept { return (flags & kKvFlagFound) != 0; }
+    bool from_switch() const noexcept { return (flags & kKvFlagFromSwitch) != 0; }
+
+    friend bool operator==(const KvMessage&, const KvMessage&) noexcept = default;
+};
+
+/// Every kv message occupies exactly this many payload bytes.
+inline constexpr std::size_t kKvMessageSize = 2 + 1 + 1 + 4 + Key16::width + 4;
+
+std::vector<std::byte> serialize_kv(const KvMessage& msg);
+
+/// Throws BufferError on truncation or a bad magic/op.
+KvMessage parse_kv(std::span<const std::byte> payload);
+
+/// True if the payload starts with the kv magic.
+bool looks_like_kv(std::span<const std::byte> payload) noexcept;
+
+}  // namespace daiet::kv

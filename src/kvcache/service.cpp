@@ -1,0 +1,190 @@
+#include "kvcache/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "netsim/link.hpp"
+
+namespace daiet::kv {
+
+namespace {
+
+/// The switch a single-homed host hangs off (hosts have exactly one
+/// link; the other end is its edge switch).
+sim::Node* edge_switch_of(sim::Network& net, sim::Host& host) {
+    for (const auto& link : net.links()) {
+        // Link endpoints: peer_of(1) is side a, peer_of(0) is side b.
+        sim::Node& a = link->peer_of(1);
+        sim::Node& b = link->peer_of(0);
+        if (&a == &host) return &b;
+        if (&b == &host) return &a;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+KvService::KvService(rt::ClusterRuntime& rt, KvServiceOptions options)
+    : rt_{&rt}, options_{std::move(options)} {
+    DAIET_EXPECTS(options_.server_host < rt.hosts().size());
+    sim::Host& server_host = rt.host(options_.server_host);
+    server_ = std::make_unique<KvStoreServer>(server_host, options_.config);
+
+    if (options_.client_hosts.empty()) {
+        for (std::size_t i = 0; i < rt.hosts().size(); ++i) {
+            if (i != options_.server_host) options_.client_hosts.push_back(i);
+        }
+    }
+    DAIET_EXPECTS(!options_.client_hosts.empty());
+    for (const std::size_t i : options_.client_hosts) {
+        DAIET_EXPECTS(i < rt.hosts().size() && i != options_.server_host);
+        clients_.push_back(std::make_unique<KvClient>(
+            rt.host(i), options_.config, server_host.addr()));
+    }
+
+    if (options_.cache_enabled) {
+        // The coherence protocol assumes every PUT's ACK eventually
+        // passes the cache switch (write_flight_/pending_ drain on
+        // ACKs). A dropped ACK would wedge those counters and silently
+        // freeze promotion for the key, so a lossy fabric is rejected
+        // up front; kv loss recovery is future work (ROADMAP).
+        if (rt.options().link.loss_probability > 0.0) {
+            throw std::runtime_error{
+                "KvService: the switch cache requires loss-free links "
+                "(kv loss recovery is not implemented); disable the cache "
+                "or set link.loss_probability = 0"};
+        }
+        sim::Node* edge = edge_switch_of(rt.network(), server_host);
+        auto* sw = dynamic_cast<sim::PipelineSwitchNode*>(edge);
+        if (sw == nullptr) {
+            throw std::runtime_error{
+                "KvService: the server's edge switch is not programmable "
+                "(build the cluster with daiet=true or disable the cache)"};
+        }
+        cache_node_ = sw->id();
+        cache_ = std::make_shared<KvCacheSwitchProgram>(
+            options_.config, server_host.addr(), rt.chip_at(cache_node_),
+            rt.router_at(cache_node_));
+        rt.add_tenant(cache_node_, cache_);
+        controller_ = std::make_unique<KvCacheController>(*cache_, *server_);
+    }
+}
+
+KvClient& KvService::client(std::size_t i) {
+    DAIET_EXPECTS(i < clients_.size());
+    return *clients_[i];
+}
+
+void KvService::preload(std::size_t num_keys) {
+    // Idempotent: never roll an already-present value (e.g. an
+    // acknowledged PUT from an earlier workload on this service) back
+    // to its preload default — a later promotion would re-serve it.
+    for (std::size_t i = 0; i < num_keys; ++i) {
+        const Key16 key = key_of(i);
+        if (!server_->store().contains(key)) {
+            server_->preload(key, preload_value_of(i));
+        }
+    }
+}
+
+void KvService::schedule(const KvWorkload& workload) {
+    DAIET_EXPECTS(workload.num_keys > 0);
+    DAIET_EXPECTS(workload.requests_per_client > 0);
+    DAIET_EXPECTS(workload.get_fraction >= 0.0 && workload.get_fraction <= 1.0);
+    // The single-writer-per-key guarantee needs a slice per client.
+    DAIET_EXPECTS(!workload.partition_keys ||
+                  workload.num_keys >= clients_.size());
+    preload(workload.num_keys);
+
+    sim::Simulator& sim = rt_->simulator();
+    const std::size_t n_clients = clients_.size();
+    for (std::size_t ci = 0; ci < n_clients; ++ci) {
+        // Per-client deterministic stream: ops and keys are drawn up
+        // front so scheduling order never affects the sequence.
+        Rng rng{SplitMix64{workload.seed + 0x9e37u * (ci + 1)}.next()};
+        std::size_t lo = 0;
+        std::size_t span = workload.num_keys;
+        if (workload.partition_keys) {
+            // num_keys >= n_clients (checked above), so the slices
+            // [ci*per, ci*per+per) are disjoint: one writer per key.
+            const std::size_t per = workload.num_keys / n_clients;
+            lo = ci * per;
+            span = per;
+        }
+        // Zipf(0) degenerates to the uniform distribution, so one
+        // sampler covers both the skewed and the uniform workloads.
+        const ZipfSampler zipf{span, std::max(workload.zipf_s, 0.0)};
+
+        KvClient* client = clients_[ci].get();
+        for (std::size_t r = 0; r < workload.requests_per_client; ++r) {
+            const bool is_get = rng.next_bool(workload.get_fraction);
+            const std::size_t rank = zipf(rng);
+            const Key16 key = key_of(lo + rank);
+            const auto value = static_cast<WireValue>(
+                (ci + 1) * 1000003u + static_cast<std::uint32_t>(r));
+            const sim::SimTime at = workload.start +
+                                    ci * workload.client_stagger +
+                                    r * workload.request_interval;
+            sim.schedule_at(at, [client, is_get, key, value] {
+                if (is_get) {
+                    client->get(key);
+                } else {
+                    client->put(key, value);
+                }
+            });
+        }
+    }
+
+    if (controller_ != nullptr && workload.rebalance_interval > 0) {
+        const sim::SimTime horizon =
+            workload.start + n_clients * workload.client_stagger +
+            workload.requests_per_client * workload.request_interval;
+        for (sim::SimTime at = workload.start + workload.rebalance_interval;
+             at <= horizon; at += workload.rebalance_interval) {
+            sim.schedule_at(at, [this] { controller_->rebalance(); });
+        }
+    }
+}
+
+KvRunStats KvService::collect() const {
+    KvRunStats out;
+    Samples gets;
+    Samples puts;
+    for (const auto& client : clients_) {
+        const KvClient::Stats& s = client->stats();
+        out.gets_sent += s.gets_sent;
+        out.puts_sent += s.puts_sent;
+        out.get_replies += s.get_replies;
+        out.put_acks += s.put_acks;
+        out.switch_hits += s.switch_hits;
+        for (const double v : client->get_latency().values()) gets.add(v);
+        for (const double v : client->put_latency().values()) puts.add(v);
+    }
+    out.server_gets = server_->stats().gets;
+    out.server_puts = server_->stats().puts;
+    if (!gets.empty()) {
+        out.mean_get_ns = gets.mean();
+        out.p50_get_ns = gets.percentile(50.0);
+        out.p99_get_ns = gets.percentile(99.0);
+    }
+    if (!puts.empty()) out.mean_put_ns = puts.mean();
+    if (cache_ != nullptr) out.cache = cache_->stats();
+    if (controller_ != nullptr) {
+        out.promotions = controller_->stats().promotions;
+        out.evictions = controller_->stats().evictions;
+        out.rebalances = controller_->stats().rebalances;
+    }
+    return out;
+}
+
+KvRunStats KvService::run(const KvWorkload& workload) {
+    schedule(workload);
+    rt_->run();
+    return collect();
+}
+
+}  // namespace daiet::kv

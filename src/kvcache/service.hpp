@@ -1,0 +1,134 @@
+// KvService: one kv workload deployed on a ClusterRuntime fabric.
+//
+// Wires the pieces together the way JobDriver does for aggregation
+// jobs: one KvStoreServer host, a KvClient on every other (chosen)
+// host, and — when caching is enabled — a KvCacheSwitchProgram
+// attached through the runtime's switch-program registry to the
+// server's edge switch (the one switch every request crosses, which is
+// what makes invalidate-on-PUT coherent; NetCache places its cache at
+// the storage rack's ToR for the same reason). The cache tenant shares
+// the chip's SramBook and FabricRouter with the resident DAIET
+// program, so a kv workload and an aggregation job are co-tenants of
+// one fabric.
+//
+// The built-in workload generator issues an open-loop stream of GETs
+// and PUTs per client with Zipf-distributed key popularity, and
+// schedules periodic controller rebalances — enough to reproduce the
+// cache's hit-rate and latency story and to drive the coexistence
+// tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kvcache/controller.hpp"
+#include "kvcache/store.hpp"
+#include "kvcache/switch_program.hpp"
+#include "runtime/cluster.hpp"
+
+namespace daiet::kv {
+
+struct KvServiceOptions {
+    KvConfig config{};
+    /// Index (into ClusterRuntime::hosts()) of the storage server.
+    std::size_t server_host{0};
+    /// Client host indices; empty = every host except the server.
+    std::vector<std::size_t> client_hosts;
+    /// false: no switch program, no controller — the baseline where
+    /// every request is served by the server.
+    bool cache_enabled{true};
+};
+
+struct KvWorkload {
+    std::size_t num_keys{1024};
+    /// Zipf skew of key popularity; <= 0 samples uniformly.
+    double zipf_s{0.99};
+    std::size_t requests_per_client{400};
+    /// Fraction of requests that are GETs (the rest are PUTs).
+    double get_fraction{1.0};
+    /// true: each client reads and writes only its own slice of the
+    /// key space (single writer per key) — exact value determinism
+    /// under any interleaving, which the parity tests rely on.
+    bool partition_keys{false};
+    sim::SimTime start{0};
+    sim::SimTime request_interval{2 * sim::kMicrosecond};
+    /// Distinct clients start this far apart.
+    sim::SimTime client_stagger{500 * sim::kNanosecond};
+    /// Controller rebalance cadence; 0 = never rebalance.
+    sim::SimTime rebalance_interval{100 * sim::kMicrosecond};
+    std::uint64_t seed{7};
+};
+
+/// Fabric-wide results of one workload run.
+struct KvRunStats {
+    std::uint64_t gets_sent{0};
+    std::uint64_t puts_sent{0};
+    std::uint64_t get_replies{0};
+    std::uint64_t put_acks{0};
+    std::uint64_t switch_hits{0};
+    std::uint64_t server_gets{0};
+    std::uint64_t server_puts{0};
+    double mean_get_ns{0};
+    double p50_get_ns{0};
+    double p99_get_ns{0};
+    double mean_put_ns{0};
+    KvCacheStats cache;  ///< zeroes when the cache is disabled
+    std::uint64_t promotions{0};
+    std::uint64_t evictions{0};
+    std::uint64_t rebalances{0};
+
+    double hit_rate() const noexcept {
+        return get_replies == 0 ? 0.0
+                                : static_cast<double>(switch_hits) /
+                                      static_cast<double>(get_replies);
+    }
+};
+
+class KvService {
+public:
+    KvService(rt::ClusterRuntime& rt, KvServiceOptions options = {});
+
+    KvService(const KvService&) = delete;
+    KvService& operator=(const KvService&) = delete;
+
+    KvStoreServer& server() noexcept { return *server_; }
+    std::size_t num_clients() const noexcept { return clients_.size(); }
+    KvClient& client(std::size_t i);
+    /// nullptr when the cache is disabled.
+    KvCacheSwitchProgram* cache() noexcept { return cache_.get(); }
+    KvCacheController* controller() noexcept { return controller_.get(); }
+    /// The switch hosting the cache tenant (the server's edge switch).
+    sim::NodeId cache_node() const noexcept { return cache_node_; }
+
+    /// The deterministic key/value universe the workload draws from.
+    static Key16 key_of(std::size_t i) { return Key16::from_u64(i + 1); }
+    static WireValue preload_value_of(std::size_t i) {
+        return static_cast<WireValue>(0x9000u + i);
+    }
+
+    /// Control-plane preload of keys 0..n-1 (no traffic).
+    void preload(std::size_t num_keys);
+
+    /// Schedule the workload's request streams and rebalances on the
+    /// cluster's simulator (run with rt.run(), possibly interleaved
+    /// with other jobs' traffic).
+    void schedule(const KvWorkload& workload);
+
+    /// Aggregate client/server/switch stats after a run.
+    KvRunStats collect() const;
+
+    /// schedule + run + collect, for the simple single-job case.
+    KvRunStats run(const KvWorkload& workload);
+
+private:
+    rt::ClusterRuntime* rt_;
+    KvServiceOptions options_;
+    std::unique_ptr<KvStoreServer> server_;
+    std::vector<std::unique_ptr<KvClient>> clients_;
+    std::shared_ptr<KvCacheSwitchProgram> cache_;
+    std::unique_ptr<KvCacheController> controller_;
+    sim::NodeId cache_node_{0};
+};
+
+}  // namespace daiet::kv

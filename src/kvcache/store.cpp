@@ -1,0 +1,134 @@
+#include "kvcache/store.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "netsim/simulator.hpp"
+
+namespace daiet::kv {
+
+// -------------------------------------------------------- KvStoreServer
+
+KvStoreServer::KvStoreServer(sim::Host& host, KvConfig config)
+    : host_{&host}, config_{config} {
+    host_->udp_bind(config_.server_udp_port,
+                    [this](sim::HostAddr src, std::uint16_t src_port,
+                           std::span<const std::byte> payload) {
+                        on_datagram(src, src_port, payload);
+                    });
+}
+
+KvStoreServer::~KvStoreServer() { host_->udp_unbind(config_.server_udp_port); }
+
+sim::HostAddr KvStoreServer::addr() const noexcept { return host_->addr(); }
+
+void KvStoreServer::on_datagram(sim::HostAddr src, std::uint16_t src_port,
+                                std::span<const std::byte> payload) {
+    if (!looks_like_kv(payload)) return;
+    const KvMessage msg = parse_kv(payload);
+    if (msg.op != KvOp::kGet && msg.op != KvOp::kPut) return;
+
+    KvMessage reply;
+    reply.req_id = msg.req_id;
+    reply.key = msg.key;
+    if (msg.op == KvOp::kGet) {
+        ++stats_.gets;
+        ++access_log_[msg.key];
+        reply.op = KvOp::kGetReply;
+        const auto it = store_.find(msg.key);
+        if (it != store_.end()) {
+            reply.flags = kKvFlagFound;
+            reply.value = it->second;
+        } else {
+            ++stats_.not_found;
+        }
+    } else {
+        ++stats_.puts;
+        store_[msg.key] = msg.value;
+        reply.op = KvOp::kPutAck;
+        reply.flags = kKvFlagFound;
+        reply.value = msg.value;
+    }
+
+    // Serial worker: requests are served one after another, each
+    // costing the configured service time. The reply leaves when the
+    // worker gets to — and finishes — this request.
+    sim::Simulator& sim = host_->simulator();
+    const sim::SimTime start = std::max(sim.now(), worker_free_at_);
+    worker_free_at_ = start + config_.server_service_time;
+    stats_.busy_time += config_.server_service_time;
+    sim.schedule_at(worker_free_at_, [this, reply, src, src_port] {
+        host_->udp_send(src, config_.server_udp_port, src_port,
+                        serialize_kv(reply));
+    });
+}
+
+// ------------------------------------------------------------- KvClient
+
+KvClient::KvClient(sim::Host& host, KvConfig config, sim::HostAddr server)
+    : host_{&host}, config_{config}, server_{server} {
+    host_->udp_bind(config_.client_udp_port,
+                    [this](sim::HostAddr src, std::uint16_t src_port,
+                           std::span<const std::byte> payload) {
+                        on_datagram(src, src_port, payload);
+                    });
+}
+
+KvClient::~KvClient() { host_->udp_unbind(config_.client_udp_port); }
+
+std::uint32_t KvClient::get(const Key16& key) {
+    ++stats_.gets_sent;
+    return send(KvOp::kGet, key, 0);
+}
+
+std::uint32_t KvClient::put(const Key16& key, WireValue value) {
+    ++stats_.puts_sent;
+    return send(KvOp::kPut, key, value);
+}
+
+std::uint32_t KvClient::send(KvOp op, const Key16& key, WireValue value) {
+    DAIET_EXPECTS(!key.empty());
+    const std::uint32_t req_id = next_req_++;
+    pending_[req_id] = Pending{op, key, host_->simulator().now()};
+    KvMessage msg;
+    msg.op = op;
+    msg.req_id = req_id;
+    msg.key = key;
+    msg.value = value;
+    host_->udp_send(server_, config_.client_udp_port, config_.server_udp_port,
+                    serialize_kv(msg));
+    return req_id;
+}
+
+void KvClient::on_datagram(sim::HostAddr /*src*/, std::uint16_t /*src_port*/,
+                           std::span<const std::byte> payload) {
+    if (!looks_like_kv(payload)) return;
+    const KvMessage msg = parse_kv(payload);
+    if (msg.op != KvOp::kGetReply && msg.op != KvOp::kPutAck) return;
+    const auto it = pending_.find(msg.req_id);
+    if (it == pending_.end()) return;  // stale/duplicate reply
+
+    OpRecord record;
+    record.req_id = msg.req_id;
+    record.op = it->second.op;
+    record.key = it->second.key;
+    record.value = msg.value;
+    record.found = msg.found();
+    record.from_switch = msg.from_switch();
+    record.latency = host_->simulator().now() - it->second.issued;
+    pending_.erase(it);
+
+    if (record.op == KvOp::kGet) {
+        ++stats_.get_replies;
+        if (record.from_switch) ++stats_.switch_hits;
+        if (!record.found) ++stats_.not_found;
+        get_latency_.add(static_cast<double>(record.latency));
+    } else {
+        ++stats_.put_acks;
+        put_latency_.add(static_cast<double>(record.latency));
+    }
+    log_.push_back(record);
+    if (on_reply) on_reply(record);
+}
+
+}  // namespace daiet::kv

@@ -1,0 +1,142 @@
+// End-host halves of the kv service: the storage server and the client
+// library.
+//
+// KvStoreServer is a deliberately ordinary key-value server: a map, a
+// UDP socket, and a single serial worker whose per-request service time
+// models the userspace stack the switch cache bypasses. Requests queue
+// behind one another, so a skewed workload drives it toward saturation
+// — the phenomenon the in-network cache exists to absorb. It also keeps
+// a per-key access log since the last controller poll; together with
+// the switch's hit counters this is the controller's view of hotness.
+//
+// KvClient issues GET/PUT requests, matches replies by request id, and
+// records per-request latency plus whether the reply came from a switch
+// cache (FLAG_FROM_SWITCH) — the measurement surface for every kv
+// benchmark and test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "kvcache/config.hpp"
+#include "kvcache/protocol.hpp"
+#include "netsim/host.hpp"
+
+namespace daiet::kv {
+
+class KvStoreServer {
+public:
+    struct Stats {
+        std::uint64_t gets{0};
+        std::uint64_t puts{0};
+        std::uint64_t not_found{0};
+        /// Simulated time the worker spent busy (load observability).
+        sim::SimTime busy_time{0};
+    };
+
+    /// Binds the server UDP port on `host`.
+    KvStoreServer(sim::Host& host, KvConfig config);
+    ~KvStoreServer();
+    KvStoreServer(const KvStoreServer&) = delete;
+    KvStoreServer& operator=(const KvStoreServer&) = delete;
+
+    sim::HostAddr addr() const noexcept;
+
+    /// Control-plane load (no traffic, no service time).
+    void preload(const Key16& key, WireValue value) { store_[key] = value; }
+
+    const std::unordered_map<Key16, WireValue>& store() const noexcept {
+        return store_;
+    }
+
+    /// GETs that reached the server per key since the last clear — the
+    /// cache's misses, i.e. the controller's promotion candidates.
+    const std::unordered_map<Key16, std::uint64_t>& access_log() const noexcept {
+        return access_log_;
+    }
+    void clear_access_log() { access_log_.clear(); }
+
+    const Stats& stats() const noexcept { return stats_; }
+
+private:
+    void on_datagram(sim::HostAddr src, std::uint16_t src_port,
+                     std::span<const std::byte> payload);
+
+    sim::Host* host_;
+    KvConfig config_;
+    std::unordered_map<Key16, WireValue> store_;
+    std::unordered_map<Key16, std::uint64_t> access_log_;
+    sim::SimTime worker_free_at_{0};
+    Stats stats_;
+};
+
+class KvClient {
+public:
+    /// One finished request, as observed by the application.
+    struct OpRecord {
+        std::uint32_t req_id{0};
+        KvOp op{KvOp::kGet};
+        Key16 key{};
+        WireValue value{0};
+        bool found{false};
+        bool from_switch{false};
+        sim::SimTime latency{0};
+    };
+
+    struct Stats {
+        std::uint64_t gets_sent{0};
+        std::uint64_t puts_sent{0};
+        std::uint64_t get_replies{0};
+        std::uint64_t put_acks{0};
+        std::uint64_t switch_hits{0};
+        std::uint64_t not_found{0};
+    };
+
+    /// Binds the client UDP port on `host` (one kv client per host).
+    KvClient(sim::Host& host, KvConfig config, sim::HostAddr server);
+    ~KvClient();
+    KvClient(const KvClient&) = delete;
+    KvClient& operator=(const KvClient&) = delete;
+
+    /// Issue a request; returns its request id.
+    std::uint32_t get(const Key16& key);
+    std::uint32_t put(const Key16& key, WireValue value);
+
+    /// Invoked on every completed request (after stats are recorded).
+    std::function<void(const OpRecord&)> on_reply;
+
+    const Stats& stats() const noexcept { return stats_; }
+    const Samples& get_latency() const noexcept { return get_latency_; }
+    const Samples& put_latency() const noexcept { return put_latency_; }
+    /// Every completed request in completion order (reply values are
+    /// the correctness surface for parity/coherence tests).
+    const std::vector<OpRecord>& log() const noexcept { return log_; }
+    std::size_t outstanding() const noexcept { return pending_.size(); }
+
+private:
+    struct Pending {
+        KvOp op{KvOp::kGet};
+        Key16 key{};
+        sim::SimTime issued{0};
+    };
+
+    void on_datagram(sim::HostAddr src, std::uint16_t src_port,
+                     std::span<const std::byte> payload);
+    std::uint32_t send(KvOp op, const Key16& key, WireValue value);
+
+    sim::Host* host_;
+    KvConfig config_;
+    sim::HostAddr server_;
+    std::uint32_t next_req_{1};
+    std::unordered_map<std::uint32_t, Pending> pending_;
+    Stats stats_;
+    Samples get_latency_;
+    Samples put_latency_;
+    std::vector<OpRecord> log_;
+};
+
+}  // namespace daiet::kv

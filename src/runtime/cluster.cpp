@@ -157,16 +157,26 @@ ClusterRuntime::ClusterRuntime(ClusterOptions options)
         case TopologyKind::kFatTree: build_fat_tree(); break;
     }
     // Programs load before install_routes: the controller pushes routes
-    // into program tables on programmable switches.
-    programs_.reserve(daiet_switches_.size());
+    // into program tables on programmable switches. Each chip gets a
+    // tenant mux over a shared FabricRouter so that further programs
+    // (kv cache, ...) can be co-resident with DAIET aggregation.
+    sites_.reserve(daiet_switches_.size());
     for (auto* sw : daiet_switches_) {
-        programs_.push_back(load_daiet_program(options_.config, sw->chip()));
+        Site site;
+        site.node = sw;
+        site.router = std::make_shared<FabricRouter>(sw->chip().sram());
+        site.mux = std::make_shared<SwitchProgramMux>(site.router);
+        site.daiet = std::make_shared<DaietSwitchProgram>(options_.config,
+                                                          sw->chip(), site.router);
+        site.mux->add_tenant(site.daiet);
+        sw->chip().load_program(site.mux);
+        sites_.push_back(std::move(site));
     }
     net_->install_routes();
     if (options_.daiet) {
         controller_ = std::make_unique<Controller>(*net_, options_.config);
-        for (std::size_t i = 0; i < daiet_switches_.size(); ++i) {
-            controller_->register_program(daiet_switches_[i]->id(), programs_[i]);
+        for (const Site& site : sites_) {
+            controller_->register_program(site.node->id(), site.daiet);
         }
     }
 }
@@ -182,10 +192,43 @@ sim::Host& ClusterRuntime::host(std::size_t i) const {
 }
 
 DaietSwitchProgram* ClusterRuntime::program_at(sim::NodeId node) const {
-    for (std::size_t i = 0; i < daiet_switches_.size(); ++i) {
-        if (daiet_switches_[i]->id() == node) return programs_[i].get();
+    const Site* site = find_site(node);
+    return site == nullptr ? nullptr : site->daiet.get();
+}
+
+const ClusterRuntime::Site* ClusterRuntime::find_site(sim::NodeId node) const noexcept {
+    for (const Site& site : sites_) {
+        if (site.node->id() == node) return &site;
     }
     return nullptr;
+}
+
+const ClusterRuntime::Site& ClusterRuntime::site_at(sim::NodeId node) const {
+    const Site* site = find_site(node);
+    if (site == nullptr) {
+        throw std::runtime_error{"ClusterRuntime: node " + std::to_string(node) +
+                                 " is not a programmable switch"};
+    }
+    return *site;
+}
+
+void ClusterRuntime::add_tenant(sim::NodeId node,
+                                std::shared_ptr<TenantProgram> tenant) {
+    site_at(node).mux->add_tenant(std::move(tenant));
+}
+
+std::shared_ptr<FabricRouter> ClusterRuntime::router_at(sim::NodeId node) const {
+    return site_at(node).router;
+}
+
+dp::PipelineSwitch& ClusterRuntime::chip_at(sim::NodeId node) const {
+    return site_at(node).node->chip();
+}
+
+TenantProgram* ClusterRuntime::tenant_at(sim::NodeId node,
+                                         std::string_view name) const {
+    const Site* site = find_site(node);
+    return site == nullptr ? nullptr : site->mux->tenant(name);
 }
 
 std::uint64_t ClusterRuntime::total_recirculations() const {

@@ -18,6 +18,7 @@
 #include "core/config.hpp"
 #include "core/controller.hpp"
 #include "core/pipeline_program.hpp"
+#include "core/tenancy.hpp"
 #include "netsim/network.hpp"
 
 namespace daiet::rt {
@@ -107,6 +108,26 @@ public:
     /// programmable (partial deployments, baselines).
     DaietSwitchProgram* program_at(sim::NodeId node) const;
 
+    // --- switch-program registry (multi-tenant chips) -----------------------
+    // Every programmable switch runs a SwitchProgramMux with the DAIET
+    // program as its first tenant; further tenants (e.g. the kv cache)
+    // share the chip's SramBook and its FabricRouter port map.
+
+    /// Attach `tenant` as a co-resident program on switch `node`. The
+    /// tenant must have been constructed against router_at(node); its
+    /// register/table state is charged to the chip's SRAM book, so this
+    /// throws dp::ResourceError when the chip is out of memory.
+    void add_tenant(sim::NodeId node, std::shared_ptr<TenantProgram> tenant);
+    /// The shared port map of programmable switch `node` (for building
+    /// tenants); throws when `node` is not a programmable switch.
+    std::shared_ptr<FabricRouter> router_at(sim::NodeId node) const;
+    /// The chip of programmable switch `node`.
+    dp::PipelineSwitch& chip_at(sim::NodeId node) const;
+    /// Tenant lookup by program name ("daiet", "kvcache@<server>", ...);
+    /// nullptr when the switch has no such tenant (or is not
+    /// programmable).
+    TenantProgram* tenant_at(sim::NodeId node, std::string_view name) const;
+
     sim::SimTime run() { return net_->run(); }
     sim::SimTime run_until(sim::SimTime deadline) {
         return simulator().run_until(deadline);
@@ -124,16 +145,28 @@ public:
                                               std::size_t sram_override = 0);
 
 private:
+    /// Everything the runtime holds per programmable switch: the chip's
+    /// shared router, the tenant mux loaded into the pipeline, and the
+    /// DAIET tenant itself.
+    struct Site {
+        sim::PipelineSwitchNode* node{nullptr};
+        std::shared_ptr<FabricRouter> router;
+        std::shared_ptr<SwitchProgramMux> mux;
+        std::shared_ptr<DaietSwitchProgram> daiet;
+    };
+
     sim::Node* add_switch(const std::string& name, std::size_t ports);
     void build_star();
     void build_leaf_spine();
     void build_fat_tree();
+    const Site* find_site(sim::NodeId node) const noexcept;
+    const Site& site_at(sim::NodeId node) const;
 
     ClusterOptions options_;
     std::unique_ptr<sim::Network> net_;
     std::vector<sim::Host*> hosts_;
     std::vector<sim::PipelineSwitchNode*> daiet_switches_;
-    std::vector<std::shared_ptr<DaietSwitchProgram>> programs_;
+    std::vector<Site> sites_;
     std::unique_ptr<Controller> controller_;
     TreePool trees_;
 };

@@ -61,6 +61,44 @@ TEST(TreePool, BulkAcquireRollsBackOnExhaustion) {
     EXPECT_EQ(pool.available(), 1U);
 }
 
+TEST(TreePool, BulkAcquireLeasesDistinctIds) {
+    TreePool pool{4};
+    const std::vector<TreeId> ids = pool.acquire(4);
+    ASSERT_EQ(ids.size(), 4U);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        for (std::size_t j = i + 1; j < ids.size(); ++j) {
+            EXPECT_NE(ids[i], ids[j]);
+        }
+    }
+    EXPECT_EQ(pool.leased(), 4U);
+    EXPECT_EQ(pool.available(), 0U);
+}
+
+TEST(TreePool, RollbackLeavesEveryIdAcquirable) {
+    TreePool pool{3};
+    const TreeId held = pool.acquire();
+    EXPECT_THROW(pool.acquire(3), std::runtime_error);
+    EXPECT_EQ(pool.leased(), 1U);
+    // After the rollback the remaining capacity must be fully leasable
+    // in one bulk call — nothing stays marked in_use by the failed try.
+    const std::vector<TreeId> rest = pool.acquire(2);
+    EXPECT_EQ(pool.available(), 0U);
+    for (const TreeId id : rest) EXPECT_NE(id, held);
+}
+
+TEST(TreePool, ReleasedIdsAreReusedByBulkAcquire) {
+    TreePool pool{3};
+    const std::vector<TreeId> first = pool.acquire(3);
+    pool.release(first[1]);
+    pool.release(first[0]);
+    EXPECT_EQ(pool.available(), 2U);
+    // Lowest-id-first reuse keeps lease patterns deterministic.
+    const std::vector<TreeId> again = pool.acquire(2);
+    EXPECT_EQ(again[0], first[0]);
+    EXPECT_EQ(again[1], first[1]);
+    EXPECT_EQ(pool.available(), 0U);
+}
+
 // ------------------------------------------------------- ClusterRuntime
 
 TEST(ClusterRuntime, StarBuildsProgrammableFabric) {

@@ -13,6 +13,9 @@
 // Act 2 re-runs the cached workload while a DAIET aggregation job
 // crosses the same switches — two different switch programs sharing
 // one chip's SRAM and port map.
+// Act 3 breaks the fabric: the same cached workload on 1%-lossy links,
+// surviving on the request/response transport (client retransmission,
+// server reply replay, duplicate-aware cache coherence).
 //
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/kv_cluster
@@ -125,8 +128,32 @@ int main() {
                 static_cast<unsigned long long>(round.pairs_received),
                 100.0 * round.traffic_reduction());
     std::printf("shared chip %u:        %zu bytes SRAM in use by "
-                "daiet + kvcache tenants\n",
+                "daiet + kvcache tenants\n\n",
                 svc.cache_node(),
                 rt.chip_at(svc.cache_node()).sram().used_bytes());
+
+    // --- act 3: the same cached workload on a lossy fabric -------------------
+    std::puts("act 3: 1% per-link loss, recovered by the retry transport\n");
+    rt::ClusterOptions lossy = fabric();
+    lossy.link.loss_probability = 0.01;
+    rt::ClusterRuntime lossy_rt{lossy};
+    kv::KvService lossy_svc{lossy_rt, kv_options(true)};
+    const kv::KvRunStats lossy_stats = lossy_svc.run(workload());
+
+    print_run("kv on lossy links", lossy_stats);
+    std::printf("recovery traffic:      %llu retransmits, %llu server replay "
+                "answers, %llu/%llu duplicate PUTs/ACKs deduped at the "
+                "switch, %llu abandoned\n",
+                static_cast<unsigned long long>(lossy_stats.retransmits),
+                static_cast<unsigned long long>(lossy_stats.server_duplicates),
+                static_cast<unsigned long long>(lossy_stats.cache.duplicate_puts),
+                static_cast<unsigned long long>(lossy_stats.cache.duplicate_acks),
+                static_cast<unsigned long long>(lossy_stats.abandoned));
+    std::printf("completion:            %llu/%llu GETs, %llu/%llu PUTs "
+                "answered exactly once\n",
+                static_cast<unsigned long long>(lossy_stats.get_replies),
+                static_cast<unsigned long long>(lossy_stats.gets_sent),
+                static_cast<unsigned long long>(lossy_stats.put_acks),
+                static_cast<unsigned long long>(lossy_stats.puts_sent));
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "netsim/time.hpp"
+#include "transport/request_reply.hpp"
 
 namespace daiet::kv {
 
@@ -26,6 +27,17 @@ struct KvConfig {
     /// between this switch and their returning ACKs, the coherence
     /// guard for promotion).
     std::size_t write_flight_cells{4096};
+
+    /// Cells in each of the two (client, seq) tag filters the cache
+    /// switch uses to tell retransmitted PUTs and replayed PUT_ACKs
+    /// from distinct ones — the registers that keep the coherence
+    /// counters idempotent on lossy fabrics.
+    std::size_t dedup_cells{4096};
+
+    /// Client-side retry transport (RTO, attempt budget). The kv
+    /// service runs on lossy fabrics by retransmitting at the edge and
+    /// deduplicating everywhere else.
+    transport::RetryOptions retry{};
 
     /// Per-request service time of the storage server's (single)
     /// worker: the userspace stack + storage lookup a switch cache

@@ -27,6 +27,11 @@ public:
         /// Promotions installed invalid (a write was in flight); the
         /// write's own ACK validates them with the serialized value.
         std::uint64_t shadow_promotions{0};
+        /// Times the controller wiped the switch's in-flight state
+        /// because promotion stayed blocked across kStuckWindows
+        /// rebalances (counter residue from an abandoned write or a
+        /// dedup-filter collision — see reset_flight_state()).
+        std::uint64_t flight_resets{0};
     };
 
     KvCacheController(KvCacheSwitchProgram& cache, KvStoreServer& server)
@@ -47,10 +52,20 @@ public:
     /// window counts, 1 = never forget).
     static constexpr double kScoreDecay = 0.95;
 
+    /// A wanted key whose hashed in-flight bound stays nonzero for this
+    /// many consecutive rebalances is considered wedged by counter
+    /// residue, not by live traffic (real in-flight time is bounded by
+    /// the clients' RTO budget, far below a rebalance window), and
+    /// triggers a reset_flight_state().
+    static constexpr std::uint32_t kStuckWindows = 3;
+
 private:
     KvCacheSwitchProgram* cache_;
     KvStoreServer* server_;
     std::unordered_map<Key16, double> score_;
+    /// Consecutive rebalances each wanted key spent blocked by
+    /// outstanding_writes() (erased the moment it unblocks).
+    std::unordered_map<Key16, std::uint32_t> blocked_streak_;
     Stats stats_;
 };
 

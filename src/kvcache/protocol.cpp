@@ -10,6 +10,7 @@ std::vector<std::byte> serialize_kv(const KvMessage& msg) {
     w.put_u8(static_cast<std::uint8_t>(msg.op));
     w.put_u8(msg.flags);
     w.put_u32(msg.req_id);
+    w.put_u32(msg.seq);
     w.put_bytes(msg.key.bytes());
     w.put_u32(msg.value);
     return w.take();
@@ -30,6 +31,7 @@ KvMessage parse_kv(std::span<const std::byte> payload) {
     msg.op = static_cast<KvOp>(op);
     msg.flags = r.get_u8();
     msg.req_id = r.get_u32();
+    msg.seq = r.get_u32();
     msg.key = Key16{r.get_bytes(Key16::width)};
     msg.value = r.get_u32();
     return msg;

@@ -9,13 +9,21 @@
 // WireValue cells the aggregation registers store.
 //
 // Layout (big-endian):
-//   magic(2) op(1) flags(1) req_id(4) key(16) value(4) = 28 B
+//   magic(2) op(1) flags(1) req_id(4) seq(4) key(16) value(4) = 32 B
 //
 // GET carries an empty value; GET_REPLY and PUT_ACK echo the request id
 // so clients can match responses and measure per-request latency.
 // FLAG_FROM_SWITCH marks a reply served by a switch cache rather than
 // the storage server — the hit-rate observability the controller and
 // the benchmarks read.
+//
+// `seq` is the transport-layer sequence number (transport/
+// request_reply.hpp): per-client monotonic, stamped once per logical
+// request and repeated verbatim by retransmissions and echoed by
+// replies, so (client address, seq) identifies one request everywhere —
+// the server's at-most-once ReplyCache and the cache switch's
+// duplicate-PUT/duplicate-ACK suppression both key on it. seq 0 marks a
+// message that bypassed the retry transport (control-plane probes).
 #pragma once
 
 #include <cstdint>
@@ -38,22 +46,30 @@ enum class KvOp : std::uint8_t {
 
 inline constexpr std::uint8_t kKvFlagFound = 0x01;       ///< key exists
 inline constexpr std::uint8_t kKvFlagFromSwitch = 0x02;  ///< served by a cache
+/// Reply replayed from the server's ReplyCache (a retransmission was
+/// answered without re-execution). Cache switches drain their
+/// coherence counters on replays that turn out to be first sightings,
+/// but must never *re-validate* a slot from one: the recorded value
+/// may predate writes that have passed the switch since.
+inline constexpr std::uint8_t kKvFlagReplay = 0x04;
 
 struct KvMessage {
     KvOp op{KvOp::kGet};
     std::uint8_t flags{0};
     std::uint32_t req_id{0};
+    std::uint32_t seq{0};  ///< transport sequence; 0 = untransported
     Key16 key{};
     WireValue value{0};
 
     bool found() const noexcept { return (flags & kKvFlagFound) != 0; }
     bool from_switch() const noexcept { return (flags & kKvFlagFromSwitch) != 0; }
+    bool replayed() const noexcept { return (flags & kKvFlagReplay) != 0; }
 
     friend bool operator==(const KvMessage&, const KvMessage&) noexcept = default;
 };
 
 /// Every kv message occupies exactly this many payload bytes.
-inline constexpr std::size_t kKvMessageSize = 2 + 1 + 1 + 4 + Key16::width + 4;
+inline constexpr std::size_t kKvMessageSize = 2 + 1 + 1 + 4 + 4 + Key16::width + 4;
 
 std::vector<std::byte> serialize_kv(const KvMessage& msg);
 

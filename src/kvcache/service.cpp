@@ -47,17 +47,14 @@ KvService::KvService(rt::ClusterRuntime& rt, KvServiceOptions options)
     }
 
     if (options_.cache_enabled) {
-        // The coherence protocol assumes every PUT's ACK eventually
-        // passes the cache switch (write_flight_/pending_ drain on
-        // ACKs). A dropped ACK would wedge those counters and silently
-        // freeze promotion for the key, so a lossy fabric is rejected
-        // up front; kv loss recovery is future work (ROADMAP).
-        if (rt.options().link.loss_probability > 0.0) {
-            throw std::runtime_error{
-                "KvService: the switch cache requires loss-free links "
-                "(kv loss recovery is not implemented); disable the cache "
-                "or set link.loss_probability = 0"};
-        }
+        // Lossy fabrics are fine: the retry transport retransmits at
+        // the clients, the server deduplicates via its reply cache, and
+        // the switch drains its coherence counters on distinct ACKs
+        // only — a dropped PUT_ACK no longer wedges the
+        // write_flight_/pending_ registers (a replay drains in its
+        // place), and the rare residue a dedup-filter collision or an
+        // abandoned write can still leave is healed by the controller's
+        // stuck-window flight reset.
         sim::Node* edge = edge_switch_of(rt.network(), server_host);
         auto* sw = dynamic_cast<sim::PipelineSwitchNode*>(edge);
         if (sw == nullptr) {
@@ -155,17 +152,21 @@ KvRunStats KvService::collect() const {
     Samples gets;
     Samples puts;
     for (const auto& client : clients_) {
-        const KvClient::Stats& s = client->stats();
+        const KvClient::Stats s = client->stats();
         out.gets_sent += s.gets_sent;
         out.puts_sent += s.puts_sent;
         out.get_replies += s.get_replies;
         out.put_acks += s.put_acks;
         out.switch_hits += s.switch_hits;
+        out.retransmits += s.retransmits;
+        out.duplicate_replies += s.duplicate_replies;
+        out.abandoned += s.abandoned;
         for (const double v : client->get_latency().values()) gets.add(v);
         for (const double v : client->put_latency().values()) puts.add(v);
     }
     out.server_gets = server_->stats().gets;
     out.server_puts = server_->stats().puts;
+    out.server_duplicates = server_->stats().duplicates;
     if (!gets.empty()) {
         out.mean_get_ns = gets.mean();
         out.p50_get_ns = gets.percentile(50.0);

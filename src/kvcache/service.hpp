@@ -69,6 +69,13 @@ struct KvRunStats {
     std::uint64_t switch_hits{0};
     std::uint64_t server_gets{0};
     std::uint64_t server_puts{0};
+    /// Loss-recovery traffic (transport/request_reply.hpp): wire-level
+    /// retransmissions, suppressed duplicate replies, requests dropped
+    /// after the attempt budget, and server-side replay answers.
+    std::uint64_t retransmits{0};
+    std::uint64_t duplicate_replies{0};
+    std::uint64_t abandoned{0};
+    std::uint64_t server_duplicates{0};
     double mean_get_ns{0};
     double p50_get_ns{0};
     double p99_get_ns{0};

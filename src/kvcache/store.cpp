@@ -28,8 +28,34 @@ void KvStoreServer::on_datagram(sim::HostAddr src, std::uint16_t src_port,
     const KvMessage msg = parse_kv(payload);
     if (msg.op != KvOp::kGet && msg.op != KvOp::kPut) return;
 
+    // At-most-once: a retransmission is answered by replaying the
+    // recorded reply bytes, never by re-executing (a duplicate PUT
+    // must not re-apply over a later write, a duplicate GET must not
+    // observe one). The replay is a header check ahead of the worker:
+    // it costs no service time, which keeps spurious retransmissions
+    // from feeding the very saturation that caused them.
+    switch (replies_.classify(src, msg.seq)) {
+        case transport::Sighting::kNew: break;
+        case transport::Sighting::kDuplicate: {
+            ++stats_.duplicates;
+            // Mark the replay on the wire: a cache switch must be able
+            // to tell it from the original acknowledgment (it may carry
+            // a value later writes have superseded).
+            KvMessage replay = parse_kv(*replies_.find(src, msg.seq));
+            replay.flags |= kKvFlagReplay;
+            host_->udp_send(src, config_.server_udp_port, src_port,
+                            serialize_kv(replay));
+            return;
+        }
+        case transport::Sighting::kForgotten:
+            // Too old to replay; the client abandoned it long ago.
+            ++stats_.duplicates;
+            return;
+    }
+
     KvMessage reply;
     reply.req_id = msg.req_id;
+    reply.seq = msg.seq;
     reply.key = msg.key;
     if (msg.op == KvOp::kGet) {
         ++stats_.gets;
@@ -52,26 +78,42 @@ void KvStoreServer::on_datagram(sim::HostAddr src, std::uint16_t src_port,
 
     // Serial worker: requests are served one after another, each
     // costing the configured service time. The reply leaves when the
-    // worker gets to — and finishes — this request.
+    // worker gets to — and finishes — this request. The reply bytes are
+    // recorded first so a retransmission arriving mid-service replays
+    // the same serialized outcome.
+    auto wire = serialize_kv(reply);
+    replies_.record(src, msg.seq, wire);
     sim::Simulator& sim = host_->simulator();
     const sim::SimTime start = std::max(sim.now(), worker_free_at_);
     worker_free_at_ = start + config_.server_service_time;
     stats_.busy_time += config_.server_service_time;
-    sim.schedule_at(worker_free_at_, [this, reply, src, src_port] {
-        host_->udp_send(src, config_.server_udp_port, src_port,
-                        serialize_kv(reply));
+    sim.schedule_at(worker_free_at_, [this, wire = std::move(wire), src, src_port] {
+        host_->udp_send(src, config_.server_udp_port, src_port, wire);
     });
 }
 
 // ------------------------------------------------------------- KvClient
 
 KvClient::KvClient(sim::Host& host, KvConfig config, sim::HostAddr server)
-    : host_{&host}, config_{config}, server_{server} {
+    : host_{&host},
+      config_{config},
+      server_{server},
+      channel_{host, server, config.client_udp_port, config.server_udp_port,
+               config.retry} {
     host_->udp_bind(config_.client_udp_port,
                     [this](sim::HostAddr src, std::uint16_t src_port,
                            std::span<const std::byte> payload) {
                         on_datagram(src, src_port, payload);
                     });
+    // A request that exhausts its attempt budget completes nowhere:
+    // drop its bookkeeping so outstanding() drains and the workload
+    // can account for it.
+    channel_.on_abandon = [this](std::uint32_t seq) {
+        const auto sit = req_of_seq_.find(seq);
+        if (sit == req_of_seq_.end()) return;
+        pending_.erase(sit->second);
+        req_of_seq_.erase(sit);
+    };
 }
 
 KvClient::~KvClient() { host_->udp_unbind(config_.client_udp_port); }
@@ -95,8 +137,14 @@ std::uint32_t KvClient::send(KvOp op, const Key16& key, WireValue value) {
     msg.req_id = req_id;
     msg.key = key;
     msg.value = value;
-    host_->udp_send(server_, config_.client_udp_port, config_.server_udp_port,
-                    serialize_kv(msg));
+    // The retry channel stamps the transport seq, sends (or queues
+    // behind the key's write barrier) and retransmits on timeout.
+    const std::uint32_t seq =
+        channel_.submit(key, op == KvOp::kPut, [&msg](std::uint32_t s) {
+            msg.seq = s;
+            return serialize_kv(msg);
+        });
+    req_of_seq_[seq] = req_id;
     return req_id;
 }
 
@@ -105,8 +153,12 @@ void KvClient::on_datagram(sim::HostAddr /*src*/, std::uint16_t /*src_port*/,
     if (!looks_like_kv(payload)) return;
     const KvMessage msg = parse_kv(payload);
     if (msg.op != KvOp::kGetReply && msg.op != KvOp::kPutAck) return;
+    // The channel completes each request exactly once; replies to
+    // retransmitted copies are duplicates and fall on the floor here.
+    if (!channel_.complete(msg.seq)) return;
+    req_of_seq_.erase(msg.seq);
     const auto it = pending_.find(msg.req_id);
-    if (it == pending_.end()) return;  // stale/duplicate reply
+    if (it == pending_.end()) return;  // completed seq without a pending twin
 
     OpRecord record;
     record.req_id = msg.req_id;

@@ -8,11 +8,18 @@
 // — the phenomenon the in-network cache exists to absorb. It also keeps
 // a per-key access log since the last controller poll; together with
 // the switch's hit counters this is the controller's view of hotness.
+// Under the loss-tolerant transport the server executes at most once
+// per (client, seq): retransmissions are answered by replaying the
+// recorded reply bytes from a transport::ReplyCache, ahead of the
+// worker queue.
 //
-// KvClient issues GET/PUT requests, matches replies by request id, and
+// KvClient issues GET/PUT requests through a transport::RetryChannel
+// (per-request seq, RTO-driven retransmission, per-key write barriers,
+// duplicate-reply suppression), matches replies by request id, and
 // records per-request latency plus whether the reply came from a switch
 // cache (FLAG_FROM_SWITCH) — the measurement surface for every kv
-// benchmark and test.
+// benchmark and test. Latency covers the whole request lifetime,
+// retransmissions included: that is the p99 story a lossy fabric tells.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,7 @@
 #include "kvcache/config.hpp"
 #include "kvcache/protocol.hpp"
 #include "netsim/host.hpp"
+#include "transport/request_reply.hpp"
 
 namespace daiet::kv {
 
@@ -34,6 +42,9 @@ public:
         std::uint64_t gets{0};
         std::uint64_t puts{0};
         std::uint64_t not_found{0};
+        /// Retransmissions answered from the reply cache (no
+        /// re-execution, no worker time).
+        std::uint64_t duplicates{0};
         /// Simulated time the worker spent busy (load observability).
         sim::SimTime busy_time{0};
     };
@@ -70,6 +81,7 @@ private:
     KvConfig config_;
     std::unordered_map<Key16, WireValue> store_;
     std::unordered_map<Key16, std::uint64_t> access_log_;
+    transport::ReplyCache replies_;
     sim::SimTime worker_free_at_{0};
     Stats stats_;
 };
@@ -94,6 +106,12 @@ public:
         std::uint64_t put_acks{0};
         std::uint64_t switch_hits{0};
         std::uint64_t not_found{0};
+        /// Wire-level retransmissions by the retry transport (not
+        /// counted in gets_sent/puts_sent, which are logical requests).
+        std::uint64_t retransmits{0};
+        std::uint64_t duplicate_replies{0};
+        /// Requests dropped after the transport's attempt budget.
+        std::uint64_t abandoned{0};
     };
 
     /// Binds the client UDP port on `host` (one kv client per host).
@@ -109,13 +127,22 @@ public:
     /// Invoked on every completed request (after stats are recorded).
     std::function<void(const OpRecord&)> on_reply;
 
-    const Stats& stats() const noexcept { return stats_; }
+    /// Application counters with the transport's folded in.
+    Stats stats() const noexcept {
+        Stats out = stats_;
+        out.retransmits = channel_.stats().retransmits;
+        out.duplicate_replies = channel_.stats().duplicate_replies;
+        out.abandoned = channel_.stats().abandoned;
+        return out;
+    }
     const Samples& get_latency() const noexcept { return get_latency_; }
     const Samples& put_latency() const noexcept { return put_latency_; }
     /// Every completed request in completion order (reply values are
     /// the correctness surface for parity/coherence tests).
     const std::vector<OpRecord>& log() const noexcept { return log_; }
     std::size_t outstanding() const noexcept { return pending_.size(); }
+    /// The retry transport underneath (retransmit/barrier stats).
+    const transport::RetryChannel& channel() const noexcept { return channel_; }
 
 private:
     struct Pending {
@@ -131,8 +158,10 @@ private:
     sim::Host* host_;
     KvConfig config_;
     sim::HostAddr server_;
+    transport::RetryChannel channel_;
     std::uint32_t next_req_{1};
-    std::unordered_map<std::uint32_t, Pending> pending_;
+    std::unordered_map<std::uint32_t, Pending> pending_;   ///< by req_id
+    std::unordered_map<std::uint32_t, std::uint32_t> req_of_seq_;
     Stats stats_;
     Samples get_latency_;
     Samples put_latency_;

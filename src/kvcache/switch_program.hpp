@@ -9,12 +9,15 @@
 //
 //   GET  toward server, key cached+valid  -> reply from switch (hit)
 //   GET  toward server, otherwise         -> count miss, pass through
-//   PUT  toward server                    -> outstanding-write cell +1;
+//   PUT  toward server (distinct)         -> outstanding-write cell +1;
 //                                            if cached: pending +1, invalidate
-//   PUT_ACK from server                   -> outstanding-write cell -1;
+//   PUT  toward server (retransmission)   -> counters untouched;
+//                                            if cached: invalidate only
+//   PUT_ACK from server (distinct)        -> outstanding-write cell -1;
 //                                            if cached: pending -1, and when no
 //                                            writes remain pending, write the
 //                                            acked value and re-validate
+//   PUT_ACK from server (replay)          -> pass through untouched
 //
 // Invalidate-on-PUT / revalidate-on-last-ACK is the write-through
 // coherence protocol: between a PUT passing the switch and the final
@@ -27,6 +30,22 @@
 // All of it hinges on every client<->server packet crossing this one
 // switch — why the cache lives at the server's edge (ToR) switch,
 // exactly where NetCache puts it.
+//
+// On lossy fabrics the retry transport replays packets, so the counters
+// only stay balanced if the dataplane counts *distinct* writes, not
+// transmissions: two (client, seq)-tag filter registers recognize
+// retransmitted PUTs and replayed ACKs, draining the in-flight state on
+// the last distinct ACK only. Re-validation additionally requires the
+// ACK to be the server's *original* (no kKvFlagReplay): originals pass
+// this switch exactly once by construction, so a stale value can never
+// be written back even when a colliding tag sneaks a replay past the
+// dedup filter. Every remaining dedup error is conservative — a
+// duplicate PUT still invalidates (cheap, always safe), a filter
+// mistake can only leave a slot invalid or a counter high. Counter
+// residue (an abandoned write whose ACK never crossed this switch, or
+// a filter-cell overwrite double-count) is not self-draining in the
+// dataplane; the controller heals it out of band by calling
+// reset_flight_state() when promotion stays blocked across windows.
 //
 // Promotion is controller-driven, not dataplane-driven: the dataplane
 // only *counts* (per-slot hit registers, the in-flight-write cells);
@@ -60,6 +79,8 @@ struct KvCacheStats {
     std::uint64_t invalidations{0};
     std::uint64_t refreshes{0};     ///< PUT_ACK value write-throughs
     std::uint64_t replies_seen{0};  ///< server replies passing through
+    std::uint64_t duplicate_puts{0};  ///< retransmitted PUTs recognized
+    std::uint64_t duplicate_acks{0};  ///< replayed PUT_ACKs recognized
 
     double hit_rate() const noexcept {
         return gets_seen == 0
@@ -112,6 +133,15 @@ public:
     /// flight, a server-store snapshot may predate it.
     std::uint32_t outstanding_writes(const Key16& key) const;
 
+    /// Wipe all in-flight bookkeeping: the write_flight_/pending_
+    /// counters, both dedup filters, and every slot's valid bit. Safe
+    /// at any time — slots merely fall back to the server until their
+    /// next original ACK or the next rebalance re-validates them. The
+    /// controller's escape hatch for counter residue that the
+    /// dataplane cannot drain (abandoned writes, filter-cell
+    /// collisions).
+    void reset_flight_state();
+
     const KvCacheStats& stats() const noexcept { return stats_; }
     const KvConfig& config() const noexcept { return config_; }
 
@@ -130,6 +160,10 @@ private:
     dp::RegisterArray<std::uint32_t> hits_;
     dp::RegisterArray<std::uint32_t> pending_;  ///< in-flight PUTs per slot
     dp::RegisterArray<std::uint32_t> write_flight_;  ///< hashed outstanding PUTs
+    /// (client, seq) tags of PUTs already counted / ACKs already
+    /// drained — what makes the counters idempotent under replay.
+    dp::RegisterArray<std::uint64_t> put_seen_;
+    dp::RegisterArray<std::uint64_t> ack_seen_;
     /// Control-plane shadow of index_ (slot -> key) for hit_counts().
     std::vector<Key16> slot_key_;
     std::vector<std::uint16_t> free_slots_;

@@ -23,6 +23,17 @@ void Host::udp_send(HostAddr dst, std::uint16_t src_port, std::uint16_t dst_port
     send_frame(std::move(frame));
 }
 
+TimerRef Host::timer_after(SimTime delay, std::function<void()> fn) {
+    DAIET_EXPECTS(fn != nullptr);
+    auto timer = std::make_shared<Timer>();
+    simulator().schedule_after(
+        delay, [weak = std::weak_ptr<Timer>{timer}, fn = std::move(fn)] {
+            const auto armed = weak.lock();
+            if (armed && armed->armed()) fn();
+        });
+    return timer;
+}
+
 TcpListener& Host::tcp_listen(std::uint16_t port,
                               std::function<void(TcpConnection&)> on_accept) {
     DAIET_EXPECTS(!tcp_listeners_.contains(port));

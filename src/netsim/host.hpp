@@ -36,6 +36,19 @@ struct HostCounters {
 using UdpHandler =
     std::function<void(HostAddr, std::uint16_t, std::span<const std::byte>)>;
 
+/// Handle for a cancellable one-shot host timer (Host::timer_after).
+/// Cancelling — or simply dropping the last reference — disarms it; the
+/// underlying simulator event still fires but runs nothing.
+class Timer {
+public:
+    void cancel() noexcept { armed_ = false; }
+    bool armed() const noexcept { return armed_; }
+
+private:
+    bool armed_{true};
+};
+using TimerRef = std::shared_ptr<Timer>;
+
 class Host : public Node {
 public:
     Host(Simulator& sim, NodeId id, std::string name, HostAddr addr)
@@ -61,6 +74,12 @@ public:
     /// Open a connection to dst:port. The returned reference stays valid
     /// for the lifetime of the host.
     TcpConnection& tcp_connect(HostAddr dst, std::uint16_t dst_port);
+
+    // --- timers -----------------------------------------------------------
+    /// Arm a one-shot timer: `fn` runs `delay` from now unless the
+    /// returned handle is cancelled (or dropped) first. The hook
+    /// retransmission clocks and lease expiries hang off.
+    TimerRef timer_after(SimTime delay, std::function<void()> fn);
 
     const HostCounters& counters() const noexcept { return counters_; }
     void reset_counters() noexcept { counters_ = HostCounters{}; }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "transport/restart.hpp"
 
 namespace daiet::rt {
 
@@ -189,13 +190,17 @@ RoundStats JobDriver::collect(Receivers& receivers, const ConsumeFn& consume) {
 RoundStats JobDriver::run_round(const ProduceFn& produce, const ConsumeFn& consume) {
     begin_round();
     Receivers receivers = bind_receivers();
-    for (std::size_t attempt = 0;; ++attempt) {
-        schedule_sends(produce);
-        run_to_quiescence();
-        if (round_ok(receivers)) break;
-        if (attempt >= options_.max_restarts) verify(receivers);  // throws
-        restart(receivers);
-    }
+    // Recovery rides the shared stream-restart transport: resend the
+    // whole round, check completeness at the roots, and between
+    // attempts wipe the trees' switch state and reset the receivers
+    // (restart() does both).
+    transport::StreamHooks hooks;
+    hooks.resend = [this, &produce] { schedule_sends(produce); };
+    hooks.all_complete = [this, &receivers] { return round_ok(receivers); };
+    hooks.reset = [this, &receivers] { restart(receivers); };
+    const transport::RestartReport report = transport::run_stream_with_restart(
+        rt_->network(), hooks, options_.max_restarts + 1);
+    if (!report.success) verify(receivers);  // throws the per-group diagnostic
     return collect(receivers, consume);
 }
 

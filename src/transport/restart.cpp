@@ -1,0 +1,28 @@
+#include "transport/restart.hpp"
+
+#include "common/contracts.hpp"
+
+namespace daiet::transport {
+
+RestartReport run_stream_with_restart(sim::Network& net, const StreamHooks& hooks,
+                                      std::size_t max_attempts) {
+    DAIET_EXPECTS(hooks.resend != nullptr);
+    DAIET_EXPECTS(hooks.all_complete != nullptr);
+    DAIET_EXPECTS(hooks.reset != nullptr);
+    DAIET_EXPECTS(max_attempts >= 1);
+
+    RestartReport report;
+    for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        report.attempts = attempt;
+        if (attempt > 1) hooks.reset();
+        hooks.resend();
+        net.run();
+        if (hooks.all_complete()) {
+            report.success = true;
+            return report;
+        }
+    }
+    return report;
+}
+
+}  // namespace daiet::transport

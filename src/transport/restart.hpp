@@ -1,0 +1,61 @@
+// Loss-tolerant transport, strategy 1: stream restart.
+//
+// The paper's prototype explicitly leaves packet loss to future work
+// (§4: "we do not address the issue of packet losses"). src/transport/
+// closes that gap with two recovery strategies behind one roof, picked
+// by the shape of the traffic:
+//
+//  * stream restart (this file) — for aggregation streams. Because
+//    switches fold pairs into running aggregates, *selective*
+//    retransmission of lost pairs would double-count earlier ones, so
+//    recovery is all-or-nothing per stream: detect an incomplete
+//    stream at the root, wipe the switch-side state, discard the
+//    partial result, and replay everything. That trades bandwidth for
+//    simplicity and preserves exactly-once aggregation semantics.
+//    (Follow-up systems, e.g. SwitchML, instead window the stream and
+//    ACK slot-by-slot; that design needs per-slot sequence state the
+//    2017-era model does not budget for.)
+//  * request/response retransmission (request_reply.hpp) — for
+//    RPC-shaped tenants like the kv cache, where every request is
+//    independent and per-request sequence numbers make duplicates
+//    detectable end to end, so lost packets are retried selectively
+//    instead of restarting the world.
+//
+// The transport is tenant-agnostic: what "reset" means is the
+// caller's business. JobDriver's per-round recovery supplies hooks
+// that wipe its aggregation trees through the controller
+// (Controller::restart_tree) and reset the reducer receivers; any
+// other streaming tenant brings its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "netsim/network.hpp"
+
+namespace daiet::transport {
+
+struct RestartReport {
+    bool success{false};
+    std::size_t attempts{0};
+};
+
+/// The hooks one all-or-nothing recovery attempt is made of.
+struct StreamHooks {
+    /// (Re)issue the stream's full payload; sends happen at the current
+    /// simulated time.
+    std::function<void()> resend;
+    /// Did every receiver observe a complete, clean stream?
+    std::function<bool()> all_complete;
+    /// Discard partial receiver AND switch state before a retry (not
+    /// invoked before the first attempt).
+    std::function<void()> reset;
+};
+
+/// Drive a stream to completion with restart-on-loss recovery: resend,
+/// run the network to quiescence, check completeness; on failure reset
+/// and replay, up to `max_attempts` times in total.
+RestartReport run_stream_with_restart(sim::Network& net, const StreamHooks& hooks,
+                                      std::size_t max_attempts = 8);
+
+}  // namespace daiet::transport

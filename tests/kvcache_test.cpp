@@ -25,6 +25,7 @@ TEST(KvProtocol, RoundTripsAllOps) {
         msg.op = op;
         msg.flags = kKvFlagFound | kKvFlagFromSwitch;
         msg.req_id = 0xdeadbeef;
+        msg.seq = 0xfeedf00d;
         msg.key = Key16{"user:42"};
         msg.value = 0x01020304;
         const auto wire = serialize_kv(msg);
@@ -109,8 +110,13 @@ TEST(KvCache, ZipfHitRateClearsBarAndBeatsUniform) {
     EXPECT_GT(skewed_stats.hit_rate(), 0.5);
     EXPECT_LT(uniform_stats.hit_rate(), 0.3);
     EXPECT_GT(skewed_stats.hit_rate(), uniform_stats.hit_rate() + 0.2);
-    // Hits never touched the server.
-    EXPECT_EQ(skewed_stats.server_gets + skewed_stats.switch_hits,
+    // Every GET was served by the switch or the server. Equality would
+    // need a quiet fabric: this workload saturates the server so hard
+    // that the retry transport spuriously retransmits queued GETs, and
+    // a retried GET can legally be served twice — by the server (the
+    // original copy, still queued) and by the switch (the retry, after
+    // a promotion). Dedup keeps the *client-visible* accounting exact.
+    EXPECT_GE(skewed_stats.server_gets + skewed_stats.switch_hits,
               skewed_stats.gets_sent);
 }
 
@@ -367,14 +373,16 @@ TEST(KvRegistry, TenantLookupAndMisuse) {
                                rt.router_at(tor))),
         std::runtime_error);
 
-    // A lossy fabric would wedge the coherence counters on a dropped
-    // ACK: the cache-enabled service refuses it (the cache-disabled
-    // baseline still runs).
+    // A lossy fabric used to be rejected (a dropped ACK would wedge the
+    // coherence counters); the retry transport makes it a supported
+    // deployment — both cached and uncached services construct fine.
     rt::ClusterOptions lossy = star_options(3);
     lossy.link.loss_probability = 0.01;
-    rt::ClusterRuntime lossy_rt{lossy};
-    EXPECT_THROW((KvService{lossy_rt, cache_options(8)}), std::runtime_error);
-    KvService lossless_baseline{lossy_rt, cache_options(0)};
+    rt::ClusterRuntime lossy_uncached_rt{lossy};
+    KvService lossy_uncached{lossy_uncached_rt, cache_options(0)};
+    rt::ClusterRuntime lossy_cached_rt{lossy};
+    KvService lossy_cached{lossy_cached_rt, cache_options(8)};
+    EXPECT_NE(lossy_cached.cache(), nullptr);
 
     // Hosts are not programmable switches.
     const sim::NodeId host_node = rt.host(0).id();

@@ -11,8 +11,10 @@
 // NetCache-style cache tenant on the server's leaf switch, and prints
 // the hit-rate / latency / server-load comparison.
 // Act 2 re-runs the cached workload while a DAIET aggregation job
-// crosses the same switches — two different switch programs sharing
-// one chip's SRAM and port map.
+// crosses the same switches and an in-network telemetry tenant
+// observes every chip — three different switch programs sharing one
+// chip's SRAM and port map, with the arbiter pressure printed per
+// tenant.
 // Act 3 breaks the fabric: the same cached workload on 1%-lossy links,
 // surviving on the request/response transport (client retransmission,
 // server reply replay, duplicate-aware cache coherence).
@@ -23,6 +25,7 @@
 
 #include "kvcache/service.hpp"
 #include "runtime/job_driver.hpp"
+#include "telemetry/service.hpp"
 
 namespace {
 
@@ -94,12 +97,14 @@ int main() {
                 100.0 * cached.hit_rate(),
                 baseline.mean_get_ns / cached.mean_get_ns);
 
-    // --- act 2: kv cache and DAIET aggregation on one fabric -----------------
+    // --- act 2: kv cache, DAIET aggregation and telemetry on one fabric ------
     std::puts("act 2: same kv workload, now sharing the fabric with an "
-              "aggregation job\n");
+              "aggregation job and a telemetry tenant\n");
     rt::ClusterRuntime rt{fabric()};
+    telemetry::TelemetryService tel{rt};
     kv::KvService svc{rt, kv_options(true)};
     svc.schedule(workload());
+    tel.start(100 * sim::kMicrosecond, 25 * sim::kMillisecond);
 
     rt::JobSpec spec;
     spec.name = "co-tenant";
@@ -127,10 +132,24 @@ int main() {
                 static_cast<unsigned long long>(round.pairs_sent),
                 static_cast<unsigned long long>(round.pairs_received),
                 100.0 * round.traffic_reduction());
-    std::printf("shared chip %u:        %zu bytes SRAM in use by "
-                "daiet + kvcache tenants\n\n",
+
+    // The shared-SRAM arbiter, made visible: what each resident tenant
+    // charged to the chip hosting all three families.
+    const auto* mux = dynamic_cast<SwitchProgramMux*>(
+        &rt.chip_at(svc.cache_node()).program());
+    std::printf("shared chip %u SRAM ledger (%zu bytes total in use):\n",
                 svc.cache_node(),
                 rt.chip_at(svc.cache_node()).sram().used_bytes());
+    for (const auto& [tenant, bytes] : mux->sram_report()) {
+        std::printf("    %-24s %8zu bytes\n", tenant.c_str(), bytes);
+    }
+    const telemetry::TelemetrySwitchProgram* tor =
+        tel.program_at(svc.cache_node());
+    std::printf("telemetry at that ToR: %llu kv GETs sketched in flight, "
+                "%llu heavy-hitter log appends, %llu probes answered\n\n",
+                static_cast<unsigned long long>(tor->stats().kv_gets_sketched),
+                static_cast<unsigned long long>(tor->stats().hot_logged),
+                static_cast<unsigned long long>(tor->stats().probes_answered));
 
     // --- act 3: the same cached workload on a lossy fabric -------------------
     std::puts("act 3: 1% per-link loss, recovered by the retry transport\n");

@@ -40,6 +40,23 @@ DaietSwitchProgram::DaietSwitchProgram(Config config, dp::PipelineSwitch& chip,
     }
 }
 
+std::size_t DaietSwitchProgram::sram_bytes() const {
+    std::size_t total = tree_table_.footprint_bytes();
+    for (const auto& slot : slots_) {
+        total += slot->keys.footprint_bytes() + slot->values.footprint_bytes() +
+                 slot->index_stack.footprint_bytes() +
+                 slot->stack_depth.footprint_bytes() +
+                 slot->spill.footprint_bytes() +
+                 slot->spill_head.footprint_bytes() +
+                 slot->spill_count.footprint_bytes() +
+                 slot->children.footprint_bytes() +
+                 slot->pairs_in.footprint_bytes() +
+                 slot->pairs_out.footprint_bytes() +
+                 slot->declared.footprint_bytes() + slot->dirty.footprint_bytes();
+    }
+    return total;
+}
+
 void DaietSwitchProgram::configure_tree(TreeId tree, const TreeRule& rule) {
     DAIET_EXPECTS(rule.num_children > 0);
     DAIET_EXPECTS(rule.out_port != dp::kPortInvalid);

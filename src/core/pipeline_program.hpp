@@ -73,6 +73,7 @@ public:
     bool on_claimed(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
                     std::span<const std::byte> payload) override;
     std::string name() const override { return "daiet"; }
+    std::size_t sram_bytes() const override;
 
     // --- observability ------------------------------------------------------
     const AgentTreeStats& tree_stats(TreeId tree) const;

@@ -75,8 +75,16 @@ void dispatch(dp::PacketContext& ctx, const FabricRouter& router,
               std::span<const std::shared_ptr<TenantProgram>> tenants) {
     const auto frame = parse_frame_with_ops(ctx);
     if (!frame) return;
+    const auto payload = frame->payload_of(ctx.packet().payload());
+    // Stat-keeping stages run first, on every ingress frame (not on
+    // recirculated passes — those re-enter mid-pipeline, after the
+    // ingress counters, and must not double-count).
+    if (ctx.packet().meta().recirc_count == 0) {
+        for (const auto& tenant : tenants) {
+            tenant->observe(ctx, *frame, payload);
+        }
+    }
     if (frame->udp) {
-        const auto payload = frame->payload_of(ctx.packet().payload());
         for (const auto& tenant : tenants) {
             if (!tenant->claims(*frame, payload)) continue;
             if (tenant->on_claimed(ctx, *frame, payload)) return;
@@ -130,6 +138,17 @@ TenantProgram* SwitchProgramMux::tenant(std::string_view name) const {
 
 void SwitchProgramMux::on_packet(dp::PacketContext& ctx) {
     dispatch(ctx, *router_, tenants_);
+}
+
+std::vector<std::pair<std::string, std::size_t>> SwitchProgramMux::sram_report()
+    const {
+    std::vector<std::pair<std::string, std::size_t>> report;
+    report.reserve(tenants_.size() + 1);
+    for (const auto& t : tenants_) {
+        report.emplace_back(t->name(), t->sram_bytes());
+    }
+    report.emplace_back("shared:router", router_->sram_bytes());
+    return report;
 }
 
 std::string SwitchProgramMux::name() const {

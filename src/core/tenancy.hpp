@@ -28,6 +28,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dataplane/match_table.hpp"
@@ -69,6 +70,9 @@ public:
     const RoutePorts* peek(sim::HostAddr dst) const { return table_.peek(dst); }
 
     std::size_t size() const noexcept { return table_.size(); }
+    /// SRAM charged for the shared routing table (reserved once per
+    /// chip, not per tenant).
+    std::size_t sram_bytes() const noexcept { return table_.footprint_bytes(); }
 
 private:
     dp::ExactMatchTable<sim::HostAddr, RoutePorts> table_;
@@ -93,6 +97,25 @@ public:
     /// plain forwarding, keeping partial deployments correct.
     virtual bool on_claimed(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
                             std::span<const std::byte> payload) = 0;
+
+    /// Passive tap run on *every* parsed ingress frame before claim
+    /// dispatch — including frames another tenant will consume. This is
+    /// how a compiled multi-tenant pipeline really behaves: stat-keeping
+    /// control blocks (telemetry) execute on each packet regardless of
+    /// which application block terminates it. Ops performed here are
+    /// charged to the packet's pass budget. Default: no-op.
+    virtual void observe(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
+                         std::span<const std::byte> payload) {
+        (void)ctx;
+        (void)frame;
+        (void)payload;
+    }
+
+    /// SRAM this tenant's private register/table state charges to the
+    /// chip's book (the shared FabricRouter is charged once, not here).
+    /// The arbiter-pressure observability behind
+    /// SwitchProgramMux::sram_report().
+    virtual std::size_t sram_bytes() const = 0;
 
     // --- single-tenant (standalone) operation -------------------------------
     void on_packet(dp::PacketContext& ctx) final;
@@ -120,6 +143,13 @@ public:
 
     TenantProgram* tenant(std::string_view name) const;
     std::size_t num_tenants() const noexcept { return tenants_.size(); }
+
+    /// Per-tenant SRAM ledger: one (name, bytes) entry per resident
+    /// tenant in registration order, plus a trailing "shared:router"
+    /// entry for the chip-wide routing table. Summing the bytes yields
+    /// exactly what the tenants charged to the chip's SramBook — the
+    /// arbiter pressure made visible.
+    std::vector<std::pair<std::string, std::size_t>> sram_report() const;
 
     void on_packet(dp::PacketContext& ctx) override;
     std::string name() const override;

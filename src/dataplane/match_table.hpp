@@ -72,6 +72,7 @@ public:
 
     std::size_t size() const noexcept { return entries_.size(); }
     std::size_t capacity() const noexcept { return capacity_; }
+    std::size_t footprint_bytes() const noexcept { return footprint_; }
     const std::string& name() const noexcept { return name_; }
 
 private:

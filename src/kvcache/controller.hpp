@@ -8,10 +8,24 @@
 // the dataplane's coherence protocol: a newly promoted key starts from
 // the server's current value, and a PUT arriving later still
 // invalidates it in-line.
+//
+// Two promotion modes share the install/heal machinery:
+//   * EWMA (default): smoothed per-key scores folded from the switch
+//     hit counters and the server access log.
+//   * sketch-driven: when a hot-key source is set (telemetry — the
+//     count-min sketch + heavy-hitter log the ToR keeps over the kv
+//     stream), the target hot set is the source's latest window,
+//     ranked by sketch estimate. The ToR sees every GET at line rate —
+//     hits, misses and keys the EWMA view only learns about a window
+//     later — so promotion tracks hot-set drift as fast as the
+//     telemetry poll cadence, with no smoothing inertia.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "kvcache/store.hpp"
 #include "kvcache/switch_program.hpp"
@@ -34,16 +48,30 @@ public:
         std::uint64_t flight_resets{0};
     };
 
+    /// Keys the promotion target draws from, hottest first (estimate
+    /// descending, key ascending on ties). An empty result means "no
+    /// fresh information" — the controller keeps the current hot set
+    /// rather than evicting everything on a lost telemetry window.
+    using HotKeySource =
+        std::function<std::vector<std::pair<Key16, std::uint32_t>>()>;
+
     KvCacheController(KvCacheSwitchProgram& cache, KvStoreServer& server)
         : cache_{&cache}, server_{&server} {}
 
-    /// Close the current observation window: fold the switch hit
-    /// counters and the server's access log into the exponentially
-    /// smoothed per-key hotness scores, install the top-K keys by
-    /// score, and reset the window counters. The smoothing is what
-    /// keeps short windows from thrashing the cache — a hot key's
-    /// score persists across windows it happens to sit out. Fully
-    /// deterministic (score-desc, key-asc tie-break).
+    /// Switch promotion to sketch-driven mode, fed by an in-network
+    /// telemetry view (TelemetryCollector::hot_key_source_for). Pass
+    /// nullptr to return to EWMA mode.
+    void set_hot_key_source(HotKeySource source) {
+        hot_source_ = std::move(source);
+    }
+    bool sketch_mode() const noexcept { return hot_source_ != nullptr; }
+
+    /// Close the current observation window: compute the target hot
+    /// set (EWMA scores or the sketch source's latest window), install
+    /// the top-K keys, and reset the window counters. In EWMA mode the
+    /// smoothing is what keeps short windows from thrashing the cache —
+    /// a hot key's score persists across windows it happens to sit
+    /// out. Fully deterministic (score-desc, key-asc tie-break).
     void rebalance();
 
     const Stats& stats() const noexcept { return stats_; }
@@ -51,6 +79,22 @@ public:
     /// Per-window decay of the hotness scores (0 = only the last
     /// window counts, 1 = never forget).
     static constexpr double kScoreDecay = 0.95;
+
+    /// Extra decay for keys that went completely dead. kScoreDecay
+    /// alone lets a once-hot key that stops appearing entirely outrank
+    /// genuinely warm keys for dozens of windows (0.95^w falls
+    /// slowly); a dead key's score now halves every window on top of
+    /// the base decay, so demoted-but-dead keys cannot linger above
+    /// the promotion threshold. "Dead" must mean more than "absent
+    /// this window", though: a smoothed score s implies roughly
+    /// s * (1 - kScoreDecay) arrivals per window, so only once a key's
+    /// absent streak has swallowed kIdleEvidence expected arrivals is
+    /// its silence evidence of death rather than sampling noise —
+    /// sparse-but-steady keys in a thin request stream are spared
+    /// (halving them on chance absences would collapse the smoothed
+    /// ranking into pure recency).
+    static constexpr double kIdleDecay = 0.5;
+    static constexpr double kIdleEvidence = 3.0;
 
     /// A wanted key whose hashed in-flight bound stays nonzero for this
     /// many consecutive rebalances is considered wedged by counter
@@ -60,9 +104,17 @@ public:
     static constexpr std::uint32_t kStuckWindows = 3;
 
 private:
+    /// Shared tail of both modes: evict cached keys outside `target`,
+    /// (re-)install every target key, heal wedged in-flight state.
+    void apply_target(const std::vector<Key16>& target);
+
     KvCacheSwitchProgram* cache_;
     KvStoreServer* server_;
+    HotKeySource hot_source_;
     std::unordered_map<Key16, double> score_;
+    /// Consecutive windows each scored key was absent from both
+    /// hotness views (erased the moment it reappears).
+    std::unordered_map<Key16, std::uint32_t> absent_streak_;
     /// Consecutive rebalances each wanted key spent blocked by
     /// outstanding_writes() (erased the moment it unblocks).
     std::unordered_map<Key16, std::uint32_t> blocked_streak_;

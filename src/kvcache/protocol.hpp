@@ -52,6 +52,11 @@ inline constexpr std::uint8_t kKvFlagFromSwitch = 0x02;  ///< served by a cache
 /// but must never *re-validate* a slot from one: the recorded value
 /// may predate writes that have passed the switch since.
 inline constexpr std::uint8_t kKvFlagReplay = 0x04;
+/// ECN echo (TCP's ECE, kv-flavoured): the request this reply answers
+/// arrived at the server with Congestion Experienced stamped by a
+/// fabric queue. Clients feed it to their RetryChannel as a back-off
+/// signal — forward-path congestion made visible on the reverse path.
+inline constexpr std::uint8_t kKvFlagEce = 0x08;
 
 struct KvMessage {
     KvOp op{KvOp::kGet};
@@ -64,6 +69,7 @@ struct KvMessage {
     bool found() const noexcept { return (flags & kKvFlagFound) != 0; }
     bool from_switch() const noexcept { return (flags & kKvFlagFromSwitch) != 0; }
     bool replayed() const noexcept { return (flags & kKvFlagReplay) != 0; }
+    bool ece() const noexcept { return (flags & kKvFlagEce) != 0; }
 
     friend bool operator==(const KvMessage&, const KvMessage&) noexcept = default;
 };

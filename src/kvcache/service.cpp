@@ -119,7 +119,14 @@ void KvService::schedule(const KvWorkload& workload) {
         KvClient* client = clients_[ci].get();
         for (std::size_t r = 0; r < workload.requests_per_client; ++r) {
             const bool is_get = rng.next_bool(workload.get_fraction);
-            const std::size_t rank = zipf(rng);
+            std::size_t rank = zipf(rng);
+            if (workload.hotset_rotate_every != 0) {
+                // Drifting popularity: the rank->key mapping shifts by
+                // rotate_by every rotate_every requests, moving the head
+                // of the Zipf distribution onto fresh keys.
+                const std::size_t phase = r / workload.hotset_rotate_every;
+                rank = (rank + phase * workload.hotset_rotate_by) % span;
+            }
             const Key16 key = key_of(lo + rank);
             const auto value = static_cast<WireValue>(
                 (ci + 1) * 1000003u + static_cast<std::uint32_t>(r));
@@ -161,6 +168,8 @@ KvRunStats KvService::collect() const {
         out.retransmits += s.retransmits;
         out.duplicate_replies += s.duplicate_replies;
         out.abandoned += s.abandoned;
+        out.congestion_marks += s.congestion_marks;
+        out.ecn_backoffs += s.ecn_backoffs;
         for (const double v : client->get_latency().values()) gets.add(v);
         for (const double v : client->put_latency().values()) puts.add(v);
     }

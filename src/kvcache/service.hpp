@@ -57,6 +57,13 @@ struct KvWorkload {
     sim::SimTime client_stagger{500 * sim::kNanosecond};
     /// Controller rebalance cadence; 0 = never rebalance.
     sim::SimTime rebalance_interval{100 * sim::kMicrosecond};
+    /// Hot-set drift: every `hotset_rotate_every` requests (per client)
+    /// the Zipf rank->key mapping shifts by `hotset_rotate_by` ranks, so
+    /// yesterday's head of the distribution goes cold and a fresh slice
+    /// becomes hot. 0 = stationary popularity. The stress test for
+    /// promotion agility (EWMA inertia vs sketch-driven detection).
+    std::size_t hotset_rotate_every{0};
+    std::size_t hotset_rotate_by{0};
     std::uint64_t seed{7};
 };
 
@@ -76,6 +83,10 @@ struct KvRunStats {
     std::uint64_t duplicate_replies{0};
     std::uint64_t abandoned{0};
     std::uint64_t server_duplicates{0};
+    /// ECN control loop: marks fed to the clients' retry channels and
+    /// the RTO expiries those channels postponed in response.
+    std::uint64_t congestion_marks{0};
+    std::uint64_t ecn_backoffs{0};
     double mean_get_ns{0};
     double p50_get_ns{0};
     double p99_get_ns{0};

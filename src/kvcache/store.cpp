@@ -43,6 +43,13 @@ void KvStoreServer::on_datagram(sim::HostAddr src, std::uint16_t src_port,
             // a value later writes have superseded).
             KvMessage replay = parse_kv(*replies_.find(src, msg.seq));
             replay.flags |= kKvFlagReplay;
+            // The ECN echo describes the path *now*, not at recording
+            // time: re-derive it from this retransmission's mark so a
+            // drained queue stops signalling and a newly standing one
+            // starts — it is exactly the retry traffic the back-off
+            // loop wants to throttle.
+            replay.flags &= static_cast<std::uint8_t>(~kKvFlagEce);
+            if (host_->rx_ecn_ce()) replay.flags |= kKvFlagEce;
             host_->udp_send(src, config_.server_udp_port, src_port,
                             serialize_kv(replay));
             return;
@@ -57,13 +64,16 @@ void KvStoreServer::on_datagram(sim::HostAddr src, std::uint16_t src_port,
     reply.req_id = msg.req_id;
     reply.seq = msg.seq;
     reply.key = msg.key;
+    // Echo forward-path congestion: a request that crossed a marked
+    // queue tells its client to back off via the reply flags.
+    if (host_->rx_ecn_ce()) reply.flags |= kKvFlagEce;
     if (msg.op == KvOp::kGet) {
         ++stats_.gets;
         ++access_log_[msg.key];
         reply.op = KvOp::kGetReply;
         const auto it = store_.find(msg.key);
         if (it != store_.end()) {
-            reply.flags = kKvFlagFound;
+            reply.flags |= kKvFlagFound;
             reply.value = it->second;
         } else {
             ++stats_.not_found;
@@ -72,7 +82,7 @@ void KvStoreServer::on_datagram(sim::HostAddr src, std::uint16_t src_port,
         ++stats_.puts;
         store_[msg.key] = msg.value;
         reply.op = KvOp::kPutAck;
-        reply.flags = kKvFlagFound;
+        reply.flags |= kKvFlagFound;
         reply.value = msg.value;
     }
 
@@ -153,6 +163,11 @@ void KvClient::on_datagram(sim::HostAddr /*src*/, std::uint16_t /*src_port*/,
     if (!looks_like_kv(payload)) return;
     const KvMessage msg = parse_kv(payload);
     if (msg.op != KvOp::kGetReply && msg.op != KvOp::kPutAck) return;
+    // Congestion feedback first, duplicates included: a CE mark on the
+    // reply path or the server's ECE echo both mean a fabric queue is
+    // standing between us and the server, and the retry transport
+    // should hold its fire instead of feeding it.
+    if (host_->rx_ecn_ce() || msg.ece()) channel_.note_congestion();
     // The channel completes each request exactly once; replies to
     // retransmitted copies are duplicates and fall on the floor here.
     if (!channel_.complete(msg.seq)) return;
@@ -168,6 +183,7 @@ void KvClient::on_datagram(sim::HostAddr /*src*/, std::uint16_t /*src_port*/,
     record.found = msg.found();
     record.from_switch = msg.from_switch();
     record.latency = host_->simulator().now() - it->second.issued;
+    record.completed = host_->simulator().now();
     pending_.erase(it);
 
     if (record.op == KvOp::kGet) {

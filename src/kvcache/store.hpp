@@ -97,6 +97,7 @@ public:
         bool found{false};
         bool from_switch{false};
         sim::SimTime latency{0};
+        sim::SimTime completed{0};  ///< simulation time the reply arrived
     };
 
     struct Stats {
@@ -112,6 +113,11 @@ public:
         std::uint64_t duplicate_replies{0};
         /// Requests dropped after the transport's attempt budget.
         std::uint64_t abandoned{0};
+        /// ECN feedback loop (transport/request_reply.hpp): marks
+        /// delivered to the retry channel, and RTO expiries it
+        /// postponed because of them.
+        std::uint64_t congestion_marks{0};
+        std::uint64_t ecn_backoffs{0};
     };
 
     /// Binds the client UDP port on `host` (one kv client per host).
@@ -133,6 +139,8 @@ public:
         out.retransmits = channel_.stats().retransmits;
         out.duplicate_replies = channel_.stats().duplicate_replies;
         out.abandoned = channel_.stats().abandoned;
+        out.congestion_marks = channel_.stats().congestion_marks;
+        out.ecn_backoffs = channel_.stats().ecn_backoffs;
         return out;
     }
     const Samples& get_latency() const noexcept { return get_latency_; }

@@ -112,6 +112,12 @@ public:
     std::string name() const override {
         return "kvcache@" + std::to_string(server_);
     }
+    std::size_t sram_bytes() const override {
+        return index_.footprint_bytes() + values_.footprint_bytes() +
+               valid_.footprint_bytes() + hits_.footprint_bytes() +
+               pending_.footprint_bytes() + write_flight_.footprint_bytes() +
+               put_seen_.footprint_bytes() + ack_seen_.footprint_bytes();
+    }
 
     // --- control plane (the KvCacheController's API) ------------------------
     /// Install (or refresh) a cache entry. Returns false when all slots

@@ -37,8 +37,8 @@ EthernetHeader EthernetHeader::parse(ByteReader& r) {
 }
 
 void Ipv4Header::serialize(ByteWriter& w) const {
-    w.put_u8(0x45);  // version 4, IHL 5 (no options)
-    w.put_u8(0);     // DSCP/ECN
+    w.put_u8(0x45);         // version 4, IHL 5 (no options)
+    w.put_u8(ecn & 0x03);   // DSCP 0 + ECN codepoint
     w.put_u16(total_length);
     w.put_u16(0);  // identification
     w.put_u16(0);  // flags/fragment offset
@@ -55,7 +55,7 @@ Ipv4Header Ipv4Header::parse(ByteReader& r) {
     if (ver_ihl != 0x45) {
         throw BufferError{"Ipv4Header: unsupported version/IHL"};
     }
-    r.skip(1);  // DSCP/ECN
+    h.ecn = r.get_u8() & 0x03;  // DSCP ignored, ECN kept
     h.total_length = r.get_u16();
     r.skip(4);  // id + flags/frag
     h.ttl = r.get_u8();
@@ -164,6 +164,17 @@ std::optional<ParsedFrame> parse_frame(std::span<const std::byte> frame) {
     }
     out.payload_offset = r.position();
     return out;
+}
+
+bool mark_frame_ecn_ce(std::span<std::byte> frame) noexcept {
+    // Ethernet(14) + at least the IPv4 version/IHL and TOS bytes.
+    if (frame.size() < EthernetHeader::kSize + Ipv4Header::kSize) return false;
+    if (frame[12] != std::byte{0x08} || frame[13] != std::byte{0x00}) {
+        return false;  // not IPv4
+    }
+    if (frame[14] != std::byte{0x45}) return false;
+    frame[15] |= std::byte{kEcnCongestionExperienced};
+    return true;
 }
 
 }  // namespace daiet::sim

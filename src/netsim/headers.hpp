@@ -36,14 +36,26 @@ struct EthernetHeader {
     static EthernetHeader parse(ByteReader& r);
 };
 
+/// The ECN codepoint in the low two bits of the IPv4 TOS byte.
+/// Congestion Experienced is the only mark the fabric stamps: drop-tail
+/// queues above their configured watermark set it in flight (RFC
+/// 3168-flavoured), and the loss-tolerant transport reads it as an
+/// early back-off signal.
+inline constexpr std::uint8_t kEcnCongestionExperienced = 0x03;
+
 struct Ipv4Header {
     static constexpr std::size_t kSize = 20;
 
     std::uint16_t total_length{0};  ///< IP header + L4 header + payload
+    std::uint8_t ecn{0};            ///< ECN codepoint (low 2 TOS bits)
     std::uint8_t ttl{64};
     std::uint8_t protocol{kIpProtoUdp};
     HostAddr src{0};
     HostAddr dst{0};
+
+    bool congestion_experienced() const noexcept {
+        return (ecn & 0x03) == kEcnCongestionExperienced;
+    }
 
     void serialize(ByteWriter& w) const;
     static Ipv4Header parse(ByteReader& r);
@@ -114,5 +126,10 @@ struct ParsedFrame {
 /// Parse Ethernet+IPv4(+UDP/TCP). Throws BufferError on truncation;
 /// returns std::nullopt for non-IPv4 ethertypes.
 std::optional<ParsedFrame> parse_frame(std::span<const std::byte> frame);
+
+/// Stamp Congestion Experienced into an already-serialized IPv4 frame
+/// (the in-flight mark a congested queue applies without reparsing).
+/// Returns false (frame untouched) for frames that are not IPv4.
+bool mark_frame_ecn_ce(std::span<std::byte> frame) noexcept;
 
 }  // namespace daiet::sim

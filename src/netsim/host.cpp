@@ -82,7 +82,10 @@ void Host::handle_frame(std::vector<std::byte> frame, PortId /*in_port*/) {
             ++counters_.frames_rx_unclaimed;
             return;
         }
+        rx_ecn_ce_ = parsed->ip.congestion_experienced();
+        if (rx_ecn_ce_) ++counters_.udp_frames_rx_ce;
         it->second(parsed->ip.src, parsed->udp->src_port, payload);
+        rx_ecn_ce_ = false;
         return;
     }
 

@@ -24,6 +24,7 @@ struct HostCounters {
     std::uint64_t bytes_rx{0};
     std::uint64_t udp_frames_tx{0};
     std::uint64_t udp_frames_rx{0};
+    std::uint64_t udp_frames_rx_ce{0};  ///< delivered with Congestion Experienced
     std::uint64_t udp_payload_bytes_rx{0};
     std::uint64_t tcp_frames_tx{0};
     std::uint64_t tcp_frames_rx{0};
@@ -84,6 +85,12 @@ public:
     const HostCounters& counters() const noexcept { return counters_; }
     void reset_counters() noexcept { counters_ = HostCounters{}; }
 
+    /// Ancillary data of the datagram being delivered (IP_RECVTOS
+    /// flavoured): true while a UDP handler runs for a frame that
+    /// arrived with the Congestion Experienced mark. Only meaningful
+    /// inside a handler invocation.
+    bool rx_ecn_ce() const noexcept { return rx_ecn_ce_; }
+
     void handle_frame(std::vector<std::byte> frame, PortId in_port) override;
 
     /// Hosts are single-homed: all egress uses port 0.
@@ -102,6 +109,7 @@ private:
 
     HostAddr addr_;
     HostCounters counters_;
+    bool rx_ecn_ce_{false};
     std::map<std::uint16_t, UdpHandler> udp_sockets_;
     std::map<std::uint16_t, std::unique_ptr<TcpListener>> tcp_listeners_;
     std::map<TcpKey, std::unique_ptr<TcpConnection>> tcp_connections_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "netsim/headers.hpp"
 #include "netsim/simulator.hpp"
 
 namespace daiet::sim {
@@ -30,12 +31,23 @@ void Link::transmit(int from_side, std::vector<std::byte> frame) {
         return;
     }
 
+    // ECN-ish congestion marking: a frame joining a backlog already
+    // above the threshold is stamped in flight, so receivers learn of
+    // the standing queue one RTT before drop-tail losses would tell
+    // them (the watermark signal the telemetry tenant also reports).
+    if (params_.ecn_threshold_bytes != 0 &&
+        dir.backlog_bytes + size > params_.ecn_threshold_bytes &&
+        mark_frame_ecn_ce(frame)) {
+        ++dir.stats.frames_marked_ecn;
+    }
+
     const SimTime now = sim_->now();
     const SimTime start = std::max(now, dir.busy_until);
     const SimTime ser = transmission_time_ns(size, params_.gbps);
     const SimTime done = start + ser;
     dir.busy_until = done;
     dir.backlog_bytes += size;
+    dir.peak_backlog_bytes = std::max(dir.peak_backlog_bytes, dir.backlog_bytes);
     ++dir.stats.frames_sent;
     dir.stats.bytes_sent += size;
 
@@ -56,6 +68,21 @@ void Node::transmit(PortId p, std::vector<std::byte> frame) {
     const PortBinding& binding = port(p);
     DAIET_EXPECTS(binding.link != nullptr);
     binding.link->transmit(binding.side, std::move(frame));
+}
+
+EgressQueueSample Node::sample_egress_queue(PortId p, bool reset_peak) {
+    const PortBinding& binding = port(p);
+    DAIET_EXPECTS(binding.link != nullptr);
+    Link& link = *binding.link;
+    const LinkDirectionStats& stats = link.stats(binding.side);
+    EgressQueueSample sample;
+    sample.backlog_bytes = link.backlog_bytes(binding.side);
+    sample.peak_backlog_bytes = link.peak_backlog_bytes(binding.side);
+    sample.frames_dropped_queue = stats.frames_dropped_queue;
+    sample.frames_dropped_loss = stats.frames_dropped_loss;
+    sample.frames_marked_ecn = stats.frames_marked_ecn;
+    if (reset_peak) link.reset_peak_backlog(binding.side);
+    return sample;
 }
 
 }  // namespace daiet::sim

@@ -20,6 +20,10 @@ struct LinkParams {
     /// paper's prototype does not handle loss, and neither does DAIET's
     /// default configuration — see DESIGN.md §4).
     double loss_probability{0.0};
+    /// ECN marking threshold in bytes per direction; a frame enqueued
+    /// while the backlog sits above it is stamped Congestion
+    /// Experienced in flight. 0 disables marking.
+    std::size_t ecn_threshold_bytes{0};
 };
 
 struct LinkDirectionStats {
@@ -28,6 +32,7 @@ struct LinkDirectionStats {
     std::uint64_t frames_delivered{0};
     std::uint64_t frames_dropped_queue{0};
     std::uint64_t frames_dropped_loss{0};
+    std::uint64_t frames_marked_ecn{0};
 };
 
 class Link {
@@ -44,6 +49,24 @@ public:
         return dir_[from_side].stats;
     }
 
+    // --- queue instrumentation (telemetry hooks) ---------------------------
+    /// Bytes currently queued for transmission away from `from_side`.
+    std::size_t backlog_bytes(int from_side) const {
+        DAIET_EXPECTS(from_side == 0 || from_side == 1);
+        return dir_[from_side].backlog_bytes;
+    }
+    /// High watermark of the drop-tail backlog since construction or the
+    /// last reset — what a telemetry poll reports per egress queue.
+    std::size_t peak_backlog_bytes(int from_side) const {
+        DAIET_EXPECTS(from_side == 0 || from_side == 1);
+        return dir_[from_side].peak_backlog_bytes;
+    }
+    /// Open a new watermark observation window.
+    void reset_peak_backlog(int from_side) {
+        DAIET_EXPECTS(from_side == 0 || from_side == 1);
+        dir_[from_side].peak_backlog_bytes = dir_[from_side].backlog_bytes;
+    }
+
     Node& peer_of(int side) noexcept { return side == 0 ? *b_ : *a_; }
     PortId peer_port(int side) const noexcept {
         return side == 0 ? port_b_ : port_a_;
@@ -53,6 +76,7 @@ private:
     struct Direction {
         SimTime busy_until{0};
         std::size_t backlog_bytes{0};
+        std::size_t peak_backlog_bytes{0};
         LinkDirectionStats stats;
     };
 

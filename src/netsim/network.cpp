@@ -49,51 +49,65 @@ Host* Network::host_by_addr(HostAddr addr) noexcept {
     return hosts_[addr - 1];
 }
 
-void Network::install_routes() {
-    // Adjacency: node id -> list of (port, neighbour id).
-    struct Edge {
-        PortId port;
-        NodeId peer;
-    };
-    std::vector<std::vector<Edge>> adjacency(nodes_.size());
+std::vector<std::vector<Network::Edge>> Network::adjacency() const {
+    std::vector<std::vector<Edge>> adj(nodes_.size());
     for (const auto& link : links_) {
         Node& a = link->peer_of(1);  // side 1's peer is a
         Node& b = link->peer_of(0);
-        adjacency[a.id()].push_back({link->peer_port(1), b.id()});
-        adjacency[b.id()].push_back({link->peer_port(0), a.id()});
+        adj[a.id()].push_back({link->peer_port(1), b.id()});
+        adj[b.id()].push_back({link->peer_port(0), a.id()});
     }
+    return adj;
+}
 
+void Network::install_routes_toward(const std::vector<std::vector<Edge>>& adjacency,
+                                    NodeId target, HostAddr addr) {
     constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+    // BFS from the destination over the undirected topology.
+    std::vector<std::uint32_t> dist(nodes_.size(), kInf);
+    std::deque<NodeId> queue;
+    dist[target] = 0;
+    queue.push_back(target);
+    while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        for (const Edge& e : adjacency[u]) {
+            if (dist[e.peer] == kInf) {
+                dist[e.peer] = dist[u] + 1;
+                queue.push_back(e.peer);
+            }
+        }
+    }
+    // Every switch forwards towards any neighbour one hop closer.
+    for (const auto& node : nodes_) {
+        if (dist[node->id()] == kInf || node->id() == target) continue;
+        std::vector<PortId> next_hops;
+        for (const Edge& e : adjacency[node->id()]) {
+            if (dist[e.peer] + 1 == dist[node->id()]) next_hops.push_back(e.port);
+        }
+        if (next_hops.empty()) continue;
+        if (auto* l2 = dynamic_cast<L2Switch*>(node.get())) {
+            l2->install_route(addr, std::move(next_hops));
+        } else if (auto* psw = dynamic_cast<PipelineSwitchNode*>(node.get())) {
+            psw->install_route(addr, std::move(next_hops));
+        }
+    }
+}
+
+void Network::install_routes() {
+    const auto adj = adjacency();
     for (Host* dst : hosts_) {
-        // BFS from the destination over the undirected topology.
-        std::vector<std::uint32_t> dist(nodes_.size(), kInf);
-        std::deque<NodeId> queue;
-        dist[dst->id()] = 0;
-        queue.push_back(dst->id());
-        while (!queue.empty()) {
-            const NodeId u = queue.front();
-            queue.pop_front();
-            for (const Edge& e : adjacency[u]) {
-                if (dist[e.peer] == kInf) {
-                    dist[e.peer] = dist[u] + 1;
-                    queue.push_back(e.peer);
-                }
-            }
-        }
-        // Every switch forwards towards any neighbour one hop closer.
-        for (const auto& node : nodes_) {
-            if (dist[node->id()] == kInf || node->id() == dst->id()) continue;
-            std::vector<PortId> next_hops;
-            for (const Edge& e : adjacency[node->id()]) {
-                if (dist[e.peer] + 1 == dist[node->id()]) next_hops.push_back(e.port);
-            }
-            if (next_hops.empty()) continue;
-            if (auto* l2 = dynamic_cast<L2Switch*>(node.get())) {
-                l2->install_route(dst->addr(), std::move(next_hops));
-            } else if (auto* psw = dynamic_cast<PipelineSwitchNode*>(node.get())) {
-                psw->install_route(dst->addr(), std::move(next_hops));
-            }
-        }
+        install_routes_toward(adj, dst->id(), dst->addr());
+    }
+}
+
+void Network::install_switch_addresses(
+    const std::vector<std::pair<const Node*, HostAddr>>& targets) {
+    const auto adj = adjacency();
+    for (const auto& [target, vaddr] : targets) {
+        DAIET_EXPECTS(target != nullptr);
+        DAIET_EXPECTS(host_by_addr(vaddr) == nullptr);  // must not shadow a host
+        install_routes_toward(adj, target->id(), vaddr);
     }
 }
 

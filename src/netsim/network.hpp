@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dataplane/pipeline_switch.hpp"
@@ -39,6 +40,20 @@ public:
     /// routes are pushed into program tables).
     void install_routes();
 
+    /// Make a *switch* addressable: install ECMP routes for a virtual
+    /// address terminating at `target` on every other switch, so hosts
+    /// can send control-plane datagrams (telemetry probes) to a chip.
+    /// The target itself gets no route — a resident program is expected
+    /// to consume the traffic. Callable any time after install_routes().
+    void install_switch_address(const Node& target, HostAddr vaddr) {
+        install_switch_addresses({{&target, vaddr}});
+    }
+
+    /// Batch form: one adjacency build for the whole set (the
+    /// TelemetryService instruments every programmable switch at once).
+    void install_switch_addresses(
+        const std::vector<std::pair<const Node*, HostAddr>>& targets);
+
     Host* host_by_addr(HostAddr addr) noexcept;
     const std::vector<Host*>& hosts() const noexcept { return hosts_; }
     const std::vector<std::unique_ptr<Node>>& nodes() const noexcept { return nodes_; }
@@ -48,6 +63,18 @@ public:
     SimTime run() { return sim_.run(); }
 
 private:
+    /// Adjacency entry: the local port leading to a neighbour node.
+    struct Edge {
+        PortId port;
+        NodeId peer;
+    };
+
+    std::vector<std::vector<Edge>> adjacency() const;
+    /// BFS from `target` and install next-hop sets toward `addr` on
+    /// every switch except the target itself.
+    void install_routes_toward(const std::vector<std::vector<Edge>>& adjacency,
+                               NodeId target, HostAddr addr);
+
     Simulator sim_;
     std::uint64_t seed_;
     std::vector<std::unique_ptr<Node>> nodes_;

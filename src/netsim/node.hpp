@@ -17,6 +17,17 @@ class Simulator;
 using NodeId = std::uint32_t;
 using PortId = std::uint16_t;
 
+/// Point-in-time view of one egress drop-tail queue (the direction
+/// *away* from the sampling node) — the queue-depth registers a real
+/// traffic manager exposes to telemetry.
+struct EgressQueueSample {
+    std::size_t backlog_bytes{0};
+    std::size_t peak_backlog_bytes{0};  ///< watermark since the last reset
+    std::uint64_t frames_dropped_queue{0};  ///< cumulative drop-tail drops
+    std::uint64_t frames_dropped_loss{0};   ///< cumulative injected losses
+    std::uint64_t frames_marked_ecn{0};     ///< cumulative CE stamps
+};
+
 class Node {
 public:
     Node(Simulator& sim, NodeId id, std::string name)
@@ -44,6 +55,10 @@ public:
 
     /// Transmit a frame out of `port`.
     void transmit(PortId port, std::vector<std::byte> frame);
+
+    /// Sample the egress queue behind `port` (telemetry instrumentation;
+    /// `reset_peak` opens a fresh watermark window after reading).
+    EgressQueueSample sample_egress_queue(PortId port, bool reset_peak = false);
 
 protected:
     struct PortBinding {

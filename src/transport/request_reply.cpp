@@ -70,6 +70,7 @@ void RetryChannel::launch(std::uint32_t seq, Request& request, KeyWindow& window
 void RetryChannel::transmit(std::uint32_t seq, Request& request) {
     ++request.attempts;
     if (request.attempts > 1) ++stats_.retransmits;
+    request.deferred = false;  // each transmission earns one deferral
     request.last_sent = host_->simulator().now();
     host_->udp_send(dst_, src_port_, dst_port_, request.payload);
     // Exponential backoff per retransmission (shift capped to keep the
@@ -80,10 +81,46 @@ void RetryChannel::transmit(std::uint32_t seq, Request& request) {
                                        [this, seq] { on_timeout(seq); });
 }
 
+void RetryChannel::note_congestion() {
+    ++stats_.congestion_marks;
+    if (!options_.ecn_backoff) return;
+    // Hold for about one smoothed RTT — long enough for the marked
+    // queue to drain a round, short enough that a genuinely lost
+    // request's (single) deferral costs a fraction of its RTO.
+    const auto hold = have_rtt_
+                          ? std::max(options_.min_rto,
+                                     static_cast<sim::SimTime>(srtt_))
+                          : options_.initial_rto;
+    congested_until_ =
+        std::max(congested_until_, host_->simulator().now() + hold);
+}
+
 void RetryChannel::on_timeout(std::uint32_t seq) {
     const auto it = requests_.find(seq);
     if (it == requests_.end() || !it->second.in_flight) return;
     Request& request = it->second;
+    const sim::SimTime now = host_->simulator().now();
+    // Followers queued behind this request's key barrier inherit any
+    // deferral wholesale — for them the hold is pure added latency, so
+    // a request with followers always retransmits on schedule.
+    const auto wit = windows_.find(it->second.key);
+    const bool has_followers =
+        wit != windows_.end() && !wit->second.queued.empty();
+    if (options_.ecn_backoff && now < congested_until_ && !request.deferred &&
+        !has_followers) {
+        // The fabric told us a queue is standing: this expiry is more
+        // likely a queued request than a lost one, and retransmitting
+        // would deepen the very queue delaying it. Wait out the hold
+        // window once — no attempt consumed — then let the normal RTO
+        // machinery proceed: a single deferral per transmission keeps
+        // genuine losses from stalling behind a continuously-marked
+        // fabric (marks arrive with every reply while a queue stands).
+        ++stats_.ecn_backoffs;
+        request.deferred = true;
+        request.timer = host_->timer_after(congested_until_ - now,
+                                           [this, seq] { on_timeout(seq); });
+        return;
+    }
     if (request.attempts >= options_.max_attempts) {
         const Key16 key = request.key;
         const bool was_write = request.is_write;

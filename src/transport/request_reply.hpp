@@ -60,6 +60,11 @@ struct RetryOptions {
     double srtt_mult{2.0};
     /// Transmissions per request before giving up.
     std::size_t max_attempts{16};
+    /// Honour ECN-ish congestion marks (note_congestion()): an RTO
+    /// expiring inside the marked window is postponed instead of
+    /// retransmitting into the standing queue that set the mark. Off,
+    /// marks are counted but ignored — the ablation baseline.
+    bool ecn_backoff{true};
 };
 
 struct RetryStats {
@@ -70,6 +75,11 @@ struct RetryStats {
     std::uint64_t abandoned{0};
     /// Requests that waited behind a per-key write barrier.
     std::uint64_t barrier_delays{0};
+    /// Congestion marks delivered to this channel (CE on a received
+    /// datagram, or an ECE echo from the server).
+    std::uint64_t congestion_marks{0};
+    /// RTO expiries postponed because the fabric was marked congested.
+    std::uint64_t ecn_backoffs{0};
 };
 
 /// Client half: reliable at-most-once request submission over UDP.
@@ -98,6 +108,18 @@ public:
     /// is released first, so the key cannot wedge).
     std::function<void(std::uint32_t seq)> on_abandon;
 
+    /// The fabric reported congestion toward this destination (an
+    /// ECN-marked datagram arrived, or the server echoed one). Opens —
+    /// or extends — a hold window one RTO long: requests whose RTO
+    /// fires inside it wait for the window to pass before
+    /// retransmitting, so recovery traffic stops feeding the very
+    /// queue the mark came from. The RTO itself still bounds loss
+    /// detection once the window closes.
+    void note_congestion();
+
+    /// End of the current congestion hold window (0 = none seen yet).
+    sim::SimTime congested_until() const noexcept { return congested_until_; }
+
     const RetryStats& stats() const noexcept { return stats_; }
     /// Requests in flight or queued behind a barrier.
     std::size_t outstanding() const noexcept { return requests_.size(); }
@@ -113,6 +135,9 @@ private:
         sim::SimTime last_sent{0};
         sim::TimerRef timer;
         bool in_flight{false};  ///< false while queued behind a barrier
+        /// Already granted its one congestion deferral since the last
+        /// (re)transmission (see on_timeout).
+        bool deferred{false};
     };
 
     /// Per-key ordering window (erased when idle).
@@ -142,6 +167,7 @@ private:
     bool have_rtt_{false};
     double srtt_{0};
     double rttvar_{0};
+    sim::SimTime congested_until_{0};
     RetryStats stats_;
 };
 

@@ -29,6 +29,16 @@ int main() {
                         "physical vs logical view)");
 
     BenchJson json{"ablate_tree_depth"};
+    json.config()
+        .integer("mappers", cc.num_mappers)
+        .integer("reducers", cc.num_reducers)
+        .integer("total_words", cc.total_words)
+        .integer("vocabulary_size", cc.vocabulary_size)
+        .integer("corpus_seed", cc.seed)
+        .integer("n_leaf", 4)
+        .integer("n_spine", 2)
+        .integer("fat_tree_k", 4)
+        .number("scale", scale_factor());
     json.root().integer("mappers", cc.num_mappers).integer("reducers", cc.num_reducers);
 
     TextTable table{{"topology", "mode", "payload@reducers", "frames@reducers",

@@ -79,6 +79,13 @@ public:
 
     JsonObject& root() { return root_; }
 
+    /// The workload-parameter block every bench must stamp: the knobs
+    /// and RNG seeds that produced the results, serialized as a nested
+    /// "config" object so bench trajectories are comparable across PRs
+    /// (a metric shift means nothing without the config that moved —
+    /// or didn't move — with it).
+    JsonObject& config() { return config_; }
+
     /// Append a record to the named array (created on first use).
     JsonObject& push(const std::string& array) {
         for (auto& [name, records] : arrays_) {
@@ -96,6 +103,7 @@ public:
         std::ofstream out{"BENCH_" + slug_ + ".json"};
         std::string body = root_.serialize();
         body.pop_back();  // reopen the root object to splice arrays in
+        body += ", \"config\": " + config_.serialize();
         for (const auto& [name, records] : arrays_) {
             body += ", \"" + json_escape(name) + "\": [";
             for (std::size_t i = 0; i < records.size(); ++i) {
@@ -110,6 +118,7 @@ public:
 private:
     std::string slug_;
     JsonObject root_;
+    JsonObject config_;
     std::vector<std::pair<std::string, std::vector<JsonObject>>> arrays_;
 };
 

@@ -70,11 +70,16 @@ int main() {
                 "promotions");
 
     bench::BenchJson json{"kv_cache"};
-    json.root()
+    json.config()
         .integer("num_keys", 2048)
         .integer("requests_per_client", requests)
         .integer("clients", 7)
-        .number("get_fraction", 0.95);
+        .number("get_fraction", 0.95)
+        .integer("request_interval_us", 50)
+        .integer("rebalance_interval_us", 50)
+        .integer("workload_seed", kv::KvWorkload{}.seed)
+        .integer("fabric_seed", rt::ClusterOptions{}.seed)
+        .number("scale", bench::scale_factor());
 
     for (const double s : skews) {
         for (const std::size_t slots : sizes) {

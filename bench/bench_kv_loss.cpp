@@ -73,12 +73,18 @@ int main() {
                 "dup_acks");
 
     bench::BenchJson json{"kv_loss"};
-    json.root()
+    json.config()
         .integer("num_keys", 2048)
         .integer("requests_per_client", requests)
         .integer("clients", 7)
         .integer("cache_slots", 128)
-        .number("get_fraction", 0.9);
+        .number("get_fraction", 0.9)
+        .integer("partition_keys", 1)
+        .integer("request_interval_us", 50)
+        .integer("rebalance_interval_us", 50)
+        .integer("workload_seed", kv::KvWorkload{}.seed)
+        .integer("fabric_seed", 23)
+        .number("scale", bench::scale_factor());
 
     bool healthy = true;
     for (const double loss : losses) {

@@ -292,11 +292,17 @@ bool run_parity() {
 int main() {
     const std::size_t requests = bench::scaled(900);
     bench::BenchJson json{"telemetry"};
-    json.root()
+    json.config()
         .integer("num_keys", 256)
         .integer("requests_per_client", requests)
         .integer("cache_slots", 32)
-        .integer("poll_interval_us", kCadence / sim::kMicrosecond);
+        .integer("poll_interval_us", kCadence / sim::kMicrosecond)
+        .number("get_fraction", 0.9)
+        .integer("workload_seed", kv::KvWorkload{}.seed)
+        .integer("ramp_fabric_seed", 17)
+        .text("ecn_fabric_seeds", "29,7,555")
+        .integer("hotset_rotate_by", 64)
+        .number("scale", bench::scale_factor());
     bool healthy = true;
 
     // ---- part A ------------------------------------------------------------

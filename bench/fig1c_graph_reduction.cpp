@@ -65,6 +65,14 @@ int main() {
                      : std::to_string(hist[i].messages_sent);
     };
     BenchJson json{"fig1c_graph_reduction"};
+    json.config()
+        .integer("rmat_scale", rc.scale)
+        .integer("edge_factor", rc.edge_factor)
+        .integer("max_weight", rc.max_weight)
+        .integer("rmat_seed", rc.seed)
+        .integer("workers", 4)
+        .integer("iterations", kIterations)
+        .number("scale", scale_factor());
     json.root()
         .integer("vertices", g.num_vertices())
         .integer("edges", g.num_edges())

@@ -43,10 +43,13 @@ int main() {
     const auto daiet_run = run_wordcount_job(corpus, options);
 
     BenchJson json{"fig3_wordcount"};
-    json.root()
+    json.config()
         .integer("num_mappers", cc.num_mappers)
         .integer("num_reducers", cc.num_reducers)
-        .integer("total_words", cc.total_words);
+        .integer("total_words", cc.total_words)
+        .integer("vocabulary_size", cc.vocabulary_size)
+        .integer("corpus_seed", cc.seed)
+        .number("scale", scale_factor());
 
     // Per-reducer relative reductions (the 12 samples behind each box).
     Samples data_volume;

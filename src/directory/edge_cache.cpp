@@ -1,0 +1,287 @@
+#include "directory/edge_cache.hpp"
+
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/contracts.hpp"
+#include "core/aggregation.hpp"
+#include "netsim/simulator.hpp"
+#include "transport/request_reply.hpp"
+
+namespace daiet::dir {
+
+namespace {
+
+/// Cell of a (client, seq) tag in the invalidation-dedup register,
+/// derived through the switch hash unit like every other hashed index.
+std::size_t tag_cell(dp::PacketContext& ctx, std::uint64_t tag,
+                     std::size_t cells) {
+    ByteWriter w;
+    w.put_u64(tag);
+    return register_index_from_crc(ctx.hash(w.bytes()), cells);
+}
+
+}  // namespace
+
+EdgeCacheSwitchProgram::EdgeCacheSwitchProgram(EdgeCacheConfig config,
+                                               sim::HostAddr service,
+                                               std::uint16_t server_udp_port,
+                                               sim::Node& node,
+                                               dp::PipelineSwitch& chip,
+                                               std::shared_ptr<FabricRouter> router)
+    : TenantProgram{std::move(router)},
+      config_{config},
+      service_{service},
+      server_udp_port_{server_udp_port},
+      node_{&node},
+      keys_{"edge.keys", std::max<std::size_t>(config.slots, 1), chip.sram()},
+      values_{"edge.values", std::max<std::size_t>(config.slots, 1), chip.sram()},
+      valid_{"edge.valid", std::max<std::size_t>(config.slots, 1), chip.sram()},
+      expiry_{"edge.expiry", std::max<std::size_t>(config.slots, 1), chip.sram()},
+      epoch_{"edge.epoch", std::max<std::size_t>(config.slots, 1), chip.sram()},
+      fwd_tag_{"edge.fwd_tag", std::max<std::size_t>(config.slots, 1), chip.sram()},
+      fwd_epoch_{"edge.fwd_epoch", std::max<std::size_t>(config.slots, 1),
+                 chip.sram()},
+      fwd_gen_{"edge.fwd_gen", std::max<std::size_t>(config.slots, 1), chip.sram()},
+      granted_{"edge.granted", std::max<std::size_t>(config.num_ranges, 1),
+               chip.sram()},
+      inval_seen_{"edge.inval_seen",
+                  std::max<std::size_t>(config.inval_dedup_cells, 1), chip.sram()} {
+    DAIET_EXPECTS(config.slots > 0);
+    DAIET_EXPECTS(config.num_ranges > 0);
+    keys_.fill(Key16{});
+    values_.fill(0);
+    valid_.fill(0);
+    expiry_.fill(0);
+    epoch_.fill(0);
+    fwd_tag_.fill(0);
+    fwd_epoch_.fill(0);
+    fwd_gen_.fill(0);
+    granted_.fill(0);
+    inval_seen_.fill(0);
+}
+
+sim::SimTime EdgeCacheSwitchProgram::now() const noexcept {
+    return node_->simulator().now();
+}
+
+std::size_t EdgeCacheSwitchProgram::slot_of(dp::PacketContext& ctx,
+                                            const Key16& key) const {
+    return register_index_from_crc(ctx.hash(key.bytes()), keys_.size());
+}
+
+bool EdgeCacheSwitchProgram::claims(const sim::ParsedFrame& frame,
+                                    std::span<const std::byte> payload) const {
+    if (!frame.udp) return false;
+    // Lease invalidations addressed to this edge's vaddr.
+    if (frame.ip.dst == vaddr() &&
+        frame.udp->dst_port == kDirectoryUdpPort) {
+        return looks_like_directory(payload);
+    }
+    // Requests from our clients toward the service vaddr.
+    if (frame.ip.dst == service_ && frame.udp->dst_port == server_udp_port_ &&
+        clients_.contains(frame.ip.src)) {
+        return kv::looks_like_kv(payload);
+    }
+    // Replies from the service (any rack server, or the service vaddr
+    // itself when a rack ToR cache impersonated it) toward our clients.
+    if (frame.udp->src_port == server_udp_port_ &&
+        clients_.contains(frame.ip.dst)) {
+        return kv::looks_like_kv(payload);
+    }
+    return false;
+}
+
+bool EdgeCacheSwitchProgram::on_claimed(dp::PacketContext& ctx,
+                                        const sim::ParsedFrame& frame,
+                                        std::span<const std::byte> payload) {
+    // --- lease invalidation from the directory ------------------------------
+    if (frame.ip.dst == vaddr()) {
+        ctx.count_op(dp::OpKind::kParse);  // directory header
+        const DirectoryMessage msg = parse_directory(payload);
+        ctx.mark_drop();  // consumed either way; it terminates here
+        if (msg.op != DirectoryOp::kInvalidate) return true;
+        const std::size_t cell = tag_cell(ctx, msg.tag, inval_seen_.size());
+        ctx.count_op(dp::OpKind::kAlu);  // tag compare
+        if (inval_seen_.read(ctx, cell) == msg.tag) {
+            // A replayed broadcast (its PUT was retransmitted through
+            // the directory). Skipping is about hit rate, not safety:
+            // this tag's invalidation already ran, and running it again
+            // could only wipe an entry a newer reply has refreshed.
+            ++stats_.duplicate_invalidations;
+            return true;
+        }
+        inval_seen_.write(ctx, cell, msg.tag);
+        apply_invalidate(ctx, msg.key);
+        return true;
+    }
+
+    ctx.count_op(dp::OpKind::kParse);  // kv header
+    const kv::KvMessage msg = kv::parse_kv(payload);
+    const bool toward_service = frame.ip.dst == service_;
+
+    // --- GET from one of our clients ----------------------------------------
+    if (toward_service && msg.op == kv::KvOp::kGet) {
+        ++stats_.gets_seen;
+        const std::size_t slot = slot_of(ctx, msg.key);
+        const std::size_t range =
+            register_index_from_crc(ctx.hash(msg.key.bytes()), granted_.size());
+        ctx.count_op(dp::OpKind::kAlu);  // key compare
+        const bool resident =
+            keys_.read(ctx, slot) == msg.key && valid_.read(ctx, slot) != 0;
+        if (resident && granted_.read(ctx, range) != 0) {
+            ctx.count_op(dp::OpKind::kAlu);  // lease-clock compare
+            if (now() < expiry_.read(ctx, slot)) {
+                serve_hit(ctx, frame, msg, slot);
+                return true;
+            }
+            ++stats_.expired;
+        }
+        // Miss: remember who asked, under which epoch/generation — the
+        // admission ticket the reply must present to install itself.
+        ++stats_.misses;
+        fwd_tag_.write(ctx, slot,
+                       transport::request_tag(frame.ip.src, msg.seq));
+        fwd_epoch_.write(ctx, slot, epoch_.read(ctx, slot));
+        fwd_gen_.write(ctx, slot, generation_);
+        return false;  // on toward the directory
+    }
+
+    // --- PUT from one of our clients ----------------------------------------
+    if (toward_service && msg.op == kv::KvOp::kPut) {
+        // The one write stream that does cross this edge: invalidate
+        // inline, without waiting for the directory's broadcast to
+        // loop back. Deliberately do NOT pre-mark the PUT's tag in the
+        // dedup filter: on a multi-path edge->directory stretch (fat
+        // tree) a concurrently forwarded GET can overtake this PUT and
+        // return a pre-write reply that passes the epoch guard (it was
+        // forwarded after this bump); the broadcast invalidation is
+        // the message that evicts it, and skipping it here would leave
+        // that stale install alive for a full lease. A double bump per
+        // own-client PUT is the cheap price of that ordering headroom.
+        apply_invalidate(ctx, msg.key);
+        return false;  // on toward the directory
+    }
+
+    if (toward_service) {
+        // Strays addressed to the service (replies cannot be): let the
+        // directory sort them out.
+        return false;
+    }
+
+    // --- reply passing toward one of our clients ----------------------------
+    ++stats_.replies_seen;
+    if (msg.op != kv::KvOp::kGetReply || !msg.found() || msg.replayed()) {
+        // PUT_ACKs and not-founds install nothing; a *replayed* reply
+        // (served from the server's ReplyCache) may predate writes that
+        // have passed the directory since, same rule as the rack cache.
+        return false;
+    }
+    const std::size_t slot = slot_of(ctx, msg.key);
+    const std::size_t range =
+        register_index_from_crc(ctx.hash(msg.key.bytes()), granted_.size());
+    const std::uint64_t tag = transport::request_tag(frame.ip.dst, msg.seq);
+    ctx.count_op(dp::OpKind::kAlu);  // admission compare
+    if (fwd_tag_.read(ctx, slot) != tag) {
+        // Not the newest forwarded GET for this slot — a slower reply
+        // that a later one may supersede. Installing it could roll a
+        // slot backwards in server order.
+        return false;
+    }
+    if (fwd_epoch_.read(ctx, slot) != epoch_.read(ctx, slot) ||
+        fwd_gen_.read(ctx, slot) != generation_) {
+        // An invalidation or a lease revocation arrived between the
+        // GET leaving and this reply returning: the value may predate
+        // the write that triggered it. Refuse.
+        ++stats_.stale_refused;
+        return false;
+    }
+    if (granted_.read(ctx, range) == 0) return false;
+    const bool occupied = valid_.read(ctx, slot) != 0 &&
+                          !(keys_.read(ctx, slot) == msg.key);
+    ctx.count_op(dp::OpKind::kAlu);  // live-lease check
+    if (occupied && now() < expiry_.read(ctx, slot)) {
+        // Never evict a live lease for a colliding key: stability
+        // beats recency at the edge, and the rack cache already owns
+        // the head of the distribution.
+        return false;
+    }
+    keys_.write(ctx, slot, msg.key);
+    values_.write(ctx, slot, msg.value);
+    valid_.write(ctx, slot, 1);
+    expiry_.write(ctx, slot, now() + config_.lease_ttl);
+    ++stats_.cached;
+    return false;  // the reply continues to its client regardless
+}
+
+void EdgeCacheSwitchProgram::serve_hit(dp::PacketContext& ctx,
+                                       const sim::ParsedFrame& frame,
+                                       const kv::KvMessage& msg,
+                                       std::size_t slot) {
+    ++stats_.hits;
+    // Impersonate the service: the reply's source is the GET's original
+    // destination (the service vaddr), and it leaves through the port
+    // the GET arrived on — the client's own access port.
+    kv::KvMessage reply;
+    reply.op = kv::KvOp::kGetReply;
+    reply.flags = kv::kKvFlagFound | kv::kKvFlagFromSwitch | kv::kKvFlagFromEdge;
+    reply.req_id = msg.req_id;
+    reply.seq = msg.seq;  // the client's duplicate filter matches on it
+    reply.key = msg.key;
+    reply.value = values_.read(ctx, slot);
+
+    const auto payload = kv::serialize_kv(reply);
+    auto out_frame = sim::build_udp_frame(frame.ip.dst, frame.ip.src,
+                                          server_udp_port_,
+                                          frame.udp->src_port, payload);
+    dp::Packet out{std::move(out_frame)};
+    out.meta().egress_port = ctx.packet().meta().ingress_port;
+    ctx.emit(std::move(out));
+    ctx.mark_drop();  // the GET is consumed at the edge
+}
+
+void EdgeCacheSwitchProgram::apply_invalidate(dp::PacketContext& ctx,
+                                              const Key16& key) {
+    const std::size_t slot = slot_of(ctx, key);
+    // The epoch bump outlives the entry: it also poisons any reply
+    // whose GET was forwarded from this slot before now — including
+    // GETs for a key that was never resident (only forwarded), and,
+    // conservatively, colliding keys sharing the slot.
+    const std::uint32_t epoch = epoch_.read(ctx, slot);
+    ctx.count_op(dp::OpKind::kAlu);
+    epoch_.write(ctx, slot, epoch + 1);
+    if (keys_.read(ctx, slot) == key && valid_.read(ctx, slot) != 0) {
+        valid_.write(ctx, slot, 0);
+        ++stats_.invalidations;
+    }
+}
+
+void EdgeCacheSwitchProgram::grant(std::size_t range) {
+    DAIET_EXPECTS(range < granted_.size());
+    granted_.poke(range, 1);
+}
+
+void EdgeCacheSwitchProgram::revoke(std::size_t range) {
+    DAIET_EXPECTS(range < granted_.size());
+    granted_.poke(range, 0);
+    // Bumping the generation refuses *every* in-flight reply, not just
+    // this range's: revocation precedes a migration, and nothing
+    // sampled before it may install after it. Cheap and absolute.
+    ++generation_;
+    for (std::size_t s = 0; s < keys_.size(); ++s) {
+        if (valid_.peek(s) == 0) continue;
+        if (range_of_key(keys_.peek(s), granted_.size()) == range) {
+            valid_.poke(s, 0);
+        }
+    }
+    ++stats_.revocations;
+}
+
+bool EdgeCacheSwitchProgram::holds(const Key16& key) const {
+    const std::size_t slot =
+        register_index_from_crc(Crc32::compute(key.bytes()), keys_.size());
+    return keys_.peek(slot) == key && valid_.peek(slot) != 0 &&
+           now() < expiry_.peek(slot);
+}
+
+}  // namespace daiet::dir

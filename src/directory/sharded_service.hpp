@@ -1,0 +1,155 @@
+// ShardedKvService: the kv service scaled out across N storage racks,
+// deployed on a ClusterRuntime fabric.
+//
+// Where KvService wires one server + one ToR cache, this layer wires
+// the full fourth-family stack:
+//
+//   * one KvStoreServer per storage rack, each fronted by its own
+//     KvCacheSwitchProgram tenant at the rack ToR (the same rack cache
+//     as the unsharded service — sharding multiplies it);
+//   * one DirectorySwitchProgram tenant on a spine chip that every
+//     client->storage path crosses, owning the key-range -> rack map;
+//     clients address the *service* vaddr and never learn server
+//     addresses;
+//   * one EdgeCacheSwitchProgram tenant per client-side ToR, holding
+//     lease-based reply caches the directory invalidates on writes;
+//   * a DirectoryController that installs the mapping, migrates ranges
+//     (two-phase, NACK-gated) and rebalances skew off telemetry
+//     rankings.
+//
+// The workload generator replays exactly the per-client op streams of
+// the unsharded KvService (kv::client_op_stream), which is what makes
+// "sharded == unsharded reference" a meaningful value-parity check.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "directory/config.hpp"
+#include "directory/controller.hpp"
+#include "directory/edge_cache.hpp"
+#include "directory/switch_program.hpp"
+#include "kvcache/controller.hpp"
+#include "kvcache/service.hpp"
+#include "kvcache/store.hpp"
+#include "kvcache/switch_program.hpp"
+#include "runtime/cluster.hpp"
+
+namespace daiet::dir {
+
+struct ShardedKvOptions {
+    kv::KvConfig config{};
+    DirectoryConfig directory{};
+    EdgeCacheConfig edge{};
+    /// Indices (into ClusterRuntime::hosts()) of the storage servers,
+    /// one per rack. Place them on distinct leaves for real sharding.
+    std::vector<std::size_t> server_hosts{0};
+    /// Client host indices; empty = every host that is not a server.
+    std::vector<std::size_t> client_hosts;
+    /// Switch hosting the directory tenant; kAutoSwitch picks the
+    /// first programmable switch that is no host's edge (a spine) —
+    /// the directory must sit above the edges, both so edge misses can
+    /// still reach it (a mux tenant that declines ends the claim pass)
+    /// and so rewritten requests can still cross the rack ToR cache.
+    static constexpr sim::NodeId kAutoSwitch =
+        std::numeric_limits<sim::NodeId>::max();
+    sim::NodeId directory_switch{kAutoSwitch};
+    /// false: no per-rack ToR caches (the sharding-only ablation).
+    bool rack_caches{true};
+    /// false: no client-side edge caches (the lease ablation).
+    bool edge_caches{true};
+};
+
+/// Fabric-wide results of one sharded workload run.
+struct ShardedKvRunStats {
+    std::uint64_t gets_sent{0};
+    std::uint64_t puts_sent{0};
+    std::uint64_t get_replies{0};
+    std::uint64_t put_acks{0};
+    std::uint64_t switch_hits{0};  ///< rack + edge hits
+    std::uint64_t edge_hits{0};    ///< subset served at client ToRs
+    std::uint64_t nacks{0};
+    std::uint64_t nack_retries{0};
+    std::uint64_t retransmits{0};
+    std::uint64_t abandoned{0};
+    std::uint64_t server_gets{0};  ///< summed over racks
+    std::uint64_t server_puts{0};
+    double mean_get_ns{0};
+    double p50_get_ns{0};
+    double p99_get_ns{0};
+    /// Arrival time of the last completed request (throughput's
+    /// denominator: completed / (last_completion - workload start)).
+    sim::SimTime last_completion{0};
+    DirectoryStats directory;
+    EdgeCacheStats edges;  ///< summed over edge caches
+    DirectoryController::Stats control;
+
+    std::uint64_t completed() const noexcept { return get_replies + put_acks; }
+    double hit_rate() const noexcept {
+        return get_replies == 0 ? 0.0
+                                : static_cast<double>(switch_hits) /
+                                      static_cast<double>(get_replies);
+    }
+};
+
+class ShardedKvService {
+public:
+    ShardedKvService(rt::ClusterRuntime& rt, ShardedKvOptions options);
+
+    ShardedKvService(const ShardedKvService&) = delete;
+    ShardedKvService& operator=(const ShardedKvService&) = delete;
+
+    std::size_t num_shards() const noexcept { return servers_.size(); }
+    kv::KvStoreServer& server(std::size_t shard);
+    std::size_t num_clients() const noexcept { return clients_.size(); }
+    kv::KvClient& client(std::size_t i);
+    DirectorySwitchProgram& directory() noexcept { return *directory_; }
+    DirectoryController& controller() noexcept { return *controller_; }
+    sim::NodeId directory_node() const noexcept { return directory_node_; }
+    /// The rack cache tenant of `shard`; nullptr when disabled.
+    kv::KvCacheSwitchProgram* rack_cache(std::size_t shard);
+    std::size_t num_edges() const noexcept { return edges_.size(); }
+    EdgeCacheSwitchProgram& edge(std::size_t i);
+
+    /// Control-plane preload of keys 0..n-1 into their owning racks
+    /// (same key/value universe as KvService — the parity reference).
+    void preload(std::size_t num_keys);
+
+    /// Schedule the workload's request streams plus per-rack cache
+    /// rebalances (reusing kv::KvWorkload and the shared op-stream
+    /// generator, so the streams are identical to an unsharded run).
+    void schedule(const kv::KvWorkload& workload);
+
+    /// Schedule periodic directory skew-rebalances off `source` (e.g.
+    /// TelemetryCollector::hot_key_source_for(directory_node())).
+    void schedule_rebalances(sim::SimTime interval, sim::SimTime horizon,
+                             DirectoryController::HotKeySource source);
+
+    /// One promotion pass over every rack's cache controller — what
+    /// schedule() runs periodically; exposed for custom (closed-loop)
+    /// workload drivers.
+    void rebalance_racks();
+
+    ShardedKvRunStats collect() const;
+    ShardedKvRunStats run(const kv::KvWorkload& workload);
+
+private:
+    struct Rack {
+        std::shared_ptr<kv::KvCacheSwitchProgram> cache;
+        std::unique_ptr<kv::KvCacheController> controller;
+    };
+
+    rt::ClusterRuntime* rt_;
+    ShardedKvOptions options_;
+    std::vector<std::unique_ptr<kv::KvStoreServer>> servers_;
+    std::vector<Rack> racks_;
+    std::vector<std::unique_ptr<kv::KvClient>> clients_;
+    std::vector<std::shared_ptr<EdgeCacheSwitchProgram>> edges_;
+    std::shared_ptr<DirectorySwitchProgram> directory_;
+    std::unique_ptr<DirectoryController> controller_;
+    sim::NodeId directory_node_{0};
+};
+
+}  // namespace daiet::dir

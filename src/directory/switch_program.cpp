@@ -1,0 +1,146 @@
+#include "directory/switch_program.hpp"
+
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/contracts.hpp"
+#include "core/aggregation.hpp"
+#include "transport/request_reply.hpp"
+
+namespace daiet::dir {
+
+DirectorySwitchProgram::DirectorySwitchProgram(DirectoryConfig config,
+                                               dp::PipelineSwitch& chip,
+                                               std::shared_ptr<FabricRouter> router)
+    : TenantProgram{std::move(router)},
+      config_{config},
+      owners_{"dir.owners", std::max<std::size_t>(config.num_ranges, 1),
+              chip.sram()},
+      range_hits_{"dir.range_hits", std::max<std::size_t>(config.num_ranges, 1),
+                  chip.sram()} {
+    DAIET_EXPECTS(config.num_ranges > 0);
+    owners_.fill(0);
+    range_hits_.fill(0);
+}
+
+bool DirectorySwitchProgram::claims(const sim::ParsedFrame& frame,
+                                    std::span<const std::byte> payload) const {
+    // Exactly the service's request slice: kv frames addressed to the
+    // service vaddr. Replies carry real server addresses and never
+    // come back through here; the directory's own NACK/INVALIDATE
+    // frames carry the directory port, not the service port.
+    return frame.udp.has_value() &&
+           frame.udp->dst_port == config_.server_udp_port &&
+           frame.ip.dst == service_addr() && kv::looks_like_kv(payload);
+}
+
+bool DirectorySwitchProgram::on_claimed(dp::PacketContext& ctx,
+                                        const sim::ParsedFrame& frame,
+                                        std::span<const std::byte> payload) {
+    ctx.count_op(dp::OpKind::kParse);  // kv header
+    const kv::KvMessage msg = kv::parse_kv(payload);
+    if (msg.op != kv::KvOp::kGet && msg.op != kv::KvOp::kPut) {
+        // Only requests are addressed to the service; anything else at
+        // the vaddr is stray and has nowhere to go.
+        ++stats_.foreign_dropped;
+        ctx.mark_drop();
+        return true;
+    }
+
+    const std::size_t range =
+        register_index_from_crc(ctx.hash(msg.key.bytes()), owners_.size());
+    const sim::HostAddr owner = owners_.read(ctx, range);
+    ctx.count_op(dp::OpKind::kAlu);  // owner-present check
+    if (owner == 0) {
+        // Mid-migration: the range has no owner. Bounce the request so
+        // the client's RetryChannel retries it after the flip instead
+        // of the request dying in a routing black hole.
+        send_nack(ctx, frame, msg);
+        return true;
+    }
+
+    const std::uint32_t load = range_hits_.read(ctx, range);
+    range_hits_.write(ctx, range, load + 1);
+
+    // The steer: rewrite the frame's destination to the owning rack's
+    // storage server, in the raw bytes (downstream switches route on
+    // them), and resolve the egress through the shared routing table —
+    // the packet's single table application.
+    dp::Packet& packet = ctx.packet();
+    const bool rewritten = sim::rewrite_frame_ipv4_dst(
+        std::span<std::byte>{packet.mutable_payload()}, owner);
+    DAIET_ASSERT(rewritten);  // claims() guaranteed an IPv4 frame
+    ctx.count_op(dp::OpKind::kAlu);  // header rewrite
+    sim::ParsedFrame steered = frame;
+    steered.ip.dst = owner;
+
+    if (msg.op == kv::KvOp::kPut) {
+        ++stats_.puts_steered;
+        broadcast_invalidate(ctx, frame, msg);
+    } else {
+        ++stats_.gets_steered;
+    }
+
+    router().forward(ctx, steered);
+    return true;
+}
+
+void DirectorySwitchProgram::send_nack(dp::PacketContext& ctx,
+                                       const sim::ParsedFrame& frame,
+                                       const kv::KvMessage& msg) {
+    ++stats_.nacks;
+    DirectoryMessage nack;
+    nack.op = DirectoryOp::kNack;
+    nack.seq = msg.seq;
+    nack.key = msg.key;
+    const auto payload = serialize_directory(nack);
+    // Out of the request's ingress port: the one port guaranteed to
+    // lead back toward the client, leaving the routing table unspent.
+    auto out_frame =
+        sim::build_udp_frame(service_addr(), frame.ip.src, kDirectoryUdpPort,
+                             frame.udp->src_port, payload);
+    dp::Packet out{std::move(out_frame)};
+    out.meta().egress_port = ctx.packet().meta().ingress_port;
+    ctx.emit(std::move(out));
+    ctx.mark_drop();  // the request itself dies here, by design
+}
+
+void DirectorySwitchProgram::broadcast_invalidate(dp::PacketContext& ctx,
+                                                  const sim::ParsedFrame& frame,
+                                                  const kv::KvMessage& msg) {
+    if (edges_.empty()) return;
+    DirectoryMessage inval;
+    inval.op = DirectoryOp::kInvalidate;
+    inval.tag = transport::request_tag(frame.ip.src, msg.seq);
+    inval.key = msg.key;
+    const auto payload = serialize_directory(inval);
+    for (const auto& [vaddr, port] : edges_) {
+        auto out_frame = sim::build_udp_frame(service_addr(), vaddr,
+                                              kDirectoryUdpPort,
+                                              kDirectoryUdpPort, payload);
+        dp::Packet out{std::move(out_frame)};
+        out.meta().egress_port = port;
+        ctx.emit(std::move(out));
+        ++stats_.invalidations_sent;
+    }
+}
+
+void DirectorySwitchProgram::set_owner(std::size_t range, sim::HostAddr owner) {
+    DAIET_EXPECTS(range < owners_.size());
+    owners_.poke(range, owner);
+}
+
+void DirectorySwitchProgram::add_edge(sim::HostAddr vaddr, dp::PortId port) {
+    for (const auto& [existing, _] : edges_) {
+        DAIET_EXPECTS(existing != vaddr);
+    }
+    edges_.emplace_back(vaddr, port);
+}
+
+std::vector<std::uint32_t> DirectorySwitchProgram::range_load() const {
+    std::vector<std::uint32_t> load(owners_.size());
+    for (std::size_t r = 0; r < owners_.size(); ++r) load[r] = range_hits_.peek(r);
+    return load;
+}
+
+}  // namespace daiet::dir

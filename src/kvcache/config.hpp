@@ -39,6 +39,13 @@ struct KvConfig {
     /// deduplicating everywhere else.
     transport::RetryOptions retry{};
 
+    /// How long a client waits after a directory NACK (the request hit
+    /// a key range that is mid-migration) before nudging its retry
+    /// channel into an immediate retransmission. Long enough that a
+    /// handful of retries spans a range migration's drain window,
+    /// short enough to beat the RTO by an order of magnitude.
+    sim::SimTime nack_retry_delay{25 * sim::kMicrosecond};
+
     /// Per-request service time of the storage server's (single)
     /// worker: the userspace stack + storage lookup a switch cache
     /// bypasses. Requests queue behind each other, so a skewed hot set

@@ -57,6 +57,11 @@ inline constexpr std::uint8_t kKvFlagReplay = 0x04;
 /// fabric queue. Clients feed it to their RetryChannel as a back-off
 /// signal — forward-path congestion made visible on the reverse path.
 inline constexpr std::uint8_t kKvFlagEce = 0x08;
+/// Served by a client-side *edge* reply cache (a lease-holding ToR on
+/// the client's side of the fabric, src/directory/edge_cache.hpp) —
+/// always set together with FLAG_FROM_SWITCH, which still means "a
+/// switch answered, the storage server never saw it".
+inline constexpr std::uint8_t kKvFlagFromEdge = 0x10;
 
 struct KvMessage {
     KvOp op{KvOp::kGet};
@@ -70,6 +75,7 @@ struct KvMessage {
     bool from_switch() const noexcept { return (flags & kKvFlagFromSwitch) != 0; }
     bool replayed() const noexcept { return (flags & kKvFlagReplay) != 0; }
     bool ece() const noexcept { return (flags & kKvFlagEce) != 0; }
+    bool from_edge() const noexcept { return (flags & kKvFlagFromEdge) != 0; }
 
     friend bool operator==(const KvMessage&, const KvMessage&) noexcept = default;
 };

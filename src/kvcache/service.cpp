@@ -11,22 +11,60 @@
 
 namespace daiet::kv {
 
-namespace {
-
-/// The switch a single-homed host hangs off (hosts have exactly one
-/// link; the other end is its edge switch).
-sim::Node* edge_switch_of(sim::Network& net, sim::Host& host) {
-    for (const auto& link : net.links()) {
-        // Link endpoints: peer_of(1) is side a, peer_of(0) is side b.
-        sim::Node& a = link->peer_of(1);
-        sim::Node& b = link->peer_of(0);
-        if (&a == &host) return &b;
-        if (&b == &host) return &a;
+std::vector<KvOpSpec> client_op_stream(const KvWorkload& workload, std::size_t ci,
+                                       std::size_t n_clients) {
+    // Per-client deterministic stream: ops and keys are drawn up front
+    // so scheduling order never affects the sequence.
+    Rng rng{SplitMix64{workload.seed + 0x9e37u * (ci + 1)}.next()};
+    std::size_t lo = 0;
+    std::size_t span = workload.num_keys;
+    if (workload.partition_keys) {
+        // num_keys >= n_clients (checked by the caller), so the slices
+        // [ci*per, ci*per+per) are disjoint: one writer per key.
+        const std::size_t per = workload.num_keys / n_clients;
+        lo = ci * per;
+        span = per;
     }
-    return nullptr;
+    // Zipf(0) degenerates to the uniform distribution, so one sampler
+    // covers both the skewed and the uniform workloads.
+    const ZipfSampler zipf{span, std::max(workload.zipf_s, 0.0)};
+
+    std::vector<KvOpSpec> ops;
+    ops.reserve(workload.requests_per_client);
+    for (std::size_t r = 0; r < workload.requests_per_client; ++r) {
+        KvOpSpec op;
+        op.is_get = rng.next_bool(workload.get_fraction);
+        std::size_t rank = zipf(rng);
+        if (workload.hotset_rotate_every != 0) {
+            // Drifting popularity: the rank->key mapping shifts by
+            // rotate_by every rotate_every requests, moving the head
+            // of the Zipf distribution onto fresh keys.
+            const std::size_t phase = r / workload.hotset_rotate_every;
+            rank = (rank + phase * workload.hotset_rotate_by) % span;
+        }
+        op.key = KvService::key_of(lo + rank);
+        op.value = static_cast<WireValue>((ci + 1) * 1000003u +
+                                          static_cast<std::uint32_t>(r));
+        op.at = workload.start + ci * workload.client_stagger +
+                r * workload.request_interval;
+        ops.push_back(op);
+    }
+    return ops;
 }
 
-}  // namespace
+void schedule_client_ops(sim::Simulator& sim, KvClient& client,
+                         const KvWorkload& workload, std::size_t ci,
+                         std::size_t n_clients) {
+    for (const KvOpSpec& op : client_op_stream(workload, ci, n_clients)) {
+        sim.schedule_at(op.at, [&client, op] {
+            if (op.is_get) {
+                client.get(op.key);
+            } else {
+                client.put(op.key, op.value);
+            }
+        });
+    }
+}
 
 KvService::KvService(rt::ClusterRuntime& rt, KvServiceOptions options)
     : rt_{&rt}, options_{std::move(options)} {
@@ -55,7 +93,7 @@ KvService::KvService(rt::ClusterRuntime& rt, KvServiceOptions options)
         // place), and the rare residue a dedup-filter collision or an
         // abandoned write can still leave is healed by the controller's
         // stuck-window flight reset.
-        sim::Node* edge = edge_switch_of(rt.network(), server_host);
+        sim::Node* edge = rt.network().edge_switch_of(server_host);
         auto* sw = dynamic_cast<sim::PipelineSwitchNode*>(edge);
         if (sw == nullptr) {
             throw std::runtime_error{
@@ -100,47 +138,7 @@ void KvService::schedule(const KvWorkload& workload) {
     sim::Simulator& sim = rt_->simulator();
     const std::size_t n_clients = clients_.size();
     for (std::size_t ci = 0; ci < n_clients; ++ci) {
-        // Per-client deterministic stream: ops and keys are drawn up
-        // front so scheduling order never affects the sequence.
-        Rng rng{SplitMix64{workload.seed + 0x9e37u * (ci + 1)}.next()};
-        std::size_t lo = 0;
-        std::size_t span = workload.num_keys;
-        if (workload.partition_keys) {
-            // num_keys >= n_clients (checked above), so the slices
-            // [ci*per, ci*per+per) are disjoint: one writer per key.
-            const std::size_t per = workload.num_keys / n_clients;
-            lo = ci * per;
-            span = per;
-        }
-        // Zipf(0) degenerates to the uniform distribution, so one
-        // sampler covers both the skewed and the uniform workloads.
-        const ZipfSampler zipf{span, std::max(workload.zipf_s, 0.0)};
-
-        KvClient* client = clients_[ci].get();
-        for (std::size_t r = 0; r < workload.requests_per_client; ++r) {
-            const bool is_get = rng.next_bool(workload.get_fraction);
-            std::size_t rank = zipf(rng);
-            if (workload.hotset_rotate_every != 0) {
-                // Drifting popularity: the rank->key mapping shifts by
-                // rotate_by every rotate_every requests, moving the head
-                // of the Zipf distribution onto fresh keys.
-                const std::size_t phase = r / workload.hotset_rotate_every;
-                rank = (rank + phase * workload.hotset_rotate_by) % span;
-            }
-            const Key16 key = key_of(lo + rank);
-            const auto value = static_cast<WireValue>(
-                (ci + 1) * 1000003u + static_cast<std::uint32_t>(r));
-            const sim::SimTime at = workload.start +
-                                    ci * workload.client_stagger +
-                                    r * workload.request_interval;
-            sim.schedule_at(at, [client, is_get, key, value] {
-                if (is_get) {
-                    client->get(key);
-                } else {
-                    client->put(key, value);
-                }
-            });
-        }
+        schedule_client_ops(sim, *clients_[ci], workload, ci, n_clients);
     }
 
     if (controller_ != nullptr && workload.rebalance_interval > 0) {

@@ -67,6 +67,30 @@ struct KvWorkload {
     std::uint64_t seed{7};
 };
 
+/// One scheduled client operation, precomputed so scheduling order can
+/// never affect the op sequence.
+struct KvOpSpec {
+    bool is_get{true};
+    Key16 key{};
+    WireValue value{0};
+    sim::SimTime at{0};
+};
+
+/// The deterministic request stream client `ci` (of `n_clients`) issues
+/// under `workload` — the single source of truth shared by KvService
+/// and the sharded deployment (directory/sharded_service.hpp), which is
+/// what makes "sharded run == unsharded reference" a meaningful parity
+/// check: both runs replay byte-identical per-client op sequences.
+std::vector<KvOpSpec> client_op_stream(const KvWorkload& workload, std::size_t ci,
+                                       std::size_t n_clients);
+
+/// Schedule client `ci`'s whole op stream on `sim` — the one dispatch
+/// loop both deployments share (any drift between them would quietly
+/// invalidate the parity check).
+void schedule_client_ops(sim::Simulator& sim, KvClient& client,
+                         const KvWorkload& workload, std::size_t ci,
+                         std::size_t n_clients);
+
 /// Fabric-wide results of one workload run.
 struct KvRunStats {
     std::uint64_t gets_sent{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "directory/protocol.hpp"
 #include "netsim/simulator.hpp"
 
 namespace daiet::kv {
@@ -128,6 +129,16 @@ KvClient::KvClient(sim::Host& host, KvConfig config, sim::HostAddr server)
 
 KvClient::~KvClient() { host_->udp_unbind(config_.client_udp_port); }
 
+void KvClient::on_nack(std::uint32_t seq) {
+    ++stats_.nacks;
+    if (!req_of_seq_.contains(seq)) return;     // already completed/abandoned
+    if (nack_timers_.contains(seq)) return;     // a retry is already pending
+    nack_timers_[seq] = host_->timer_after(config_.nack_retry_delay, [this, seq] {
+        nack_timers_.erase(seq);
+        if (channel_.nudge(seq)) ++stats_.nack_retries;
+    });
+}
+
 std::uint32_t KvClient::get(const Key16& key) {
     ++stats_.gets_sent;
     return send(KvOp::kGet, key, 0);
@@ -160,6 +171,17 @@ std::uint32_t KvClient::send(KvOp op, const Key16& key, WireValue value) {
 
 void KvClient::on_datagram(sim::HostAddr /*src*/, std::uint16_t /*src_port*/,
                            std::span<const std::byte> payload) {
+    // Directory NACKs arrive on the same socket as replies: the sharded
+    // service's directory switch bounces requests whose key range is
+    // mid-migration. The request is not lost (it provably died at the
+    // directory), so instead of waiting out the RTO the client nudges
+    // the retry channel after a short, fixed delay — long enough for a
+    // few retries to span the migration's drain window.
+    if (dir::looks_like_directory(payload)) {
+        const dir::DirectoryMessage msg = dir::parse_directory(payload);
+        if (msg.op == dir::DirectoryOp::kNack) on_nack(msg.seq);
+        return;
+    }
     if (!looks_like_kv(payload)) return;
     const KvMessage msg = parse_kv(payload);
     if (msg.op != KvOp::kGetReply && msg.op != KvOp::kPutAck) return;
@@ -182,6 +204,7 @@ void KvClient::on_datagram(sim::HostAddr /*src*/, std::uint16_t /*src_port*/,
     record.value = msg.value;
     record.found = msg.found();
     record.from_switch = msg.from_switch();
+    record.from_edge = msg.from_edge();
     record.latency = host_->simulator().now() - it->second.issued;
     record.completed = host_->simulator().now();
     pending_.erase(it);
@@ -189,6 +212,7 @@ void KvClient::on_datagram(sim::HostAddr /*src*/, std::uint16_t /*src_port*/,
     if (record.op == KvOp::kGet) {
         ++stats_.get_replies;
         if (record.from_switch) ++stats_.switch_hits;
+        if (record.from_edge) ++stats_.edge_hits;
         if (!record.found) ++stats_.not_found;
         get_latency_.add(static_cast<double>(record.latency));
     } else {

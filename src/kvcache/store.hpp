@@ -60,6 +60,11 @@ public:
     /// Control-plane load (no traffic, no service time).
     void preload(const Key16& key, WireValue value) { store_[key] = value; }
 
+    /// Control-plane removal (no traffic): the directory controller's
+    /// half of a range migration — keys copied to the new rack are
+    /// erased here so the old rack cannot serve them ever again.
+    bool erase(const Key16& key) { return store_.erase(key) > 0; }
+
     const std::unordered_map<Key16, WireValue>& store() const noexcept {
         return store_;
     }
@@ -96,6 +101,7 @@ public:
         WireValue value{0};
         bool found{false};
         bool from_switch{false};
+        bool from_edge{false};  ///< served by a client-side edge cache
         sim::SimTime latency{0};
         sim::SimTime completed{0};  ///< simulation time the reply arrived
     };
@@ -106,7 +112,14 @@ public:
         std::uint64_t get_replies{0};
         std::uint64_t put_acks{0};
         std::uint64_t switch_hits{0};
+        /// Replies served by a client-side edge cache (also counted in
+        /// switch_hits — an edge hit is a switch hit nearer the client).
+        std::uint64_t edge_hits{0};
         std::uint64_t not_found{0};
+        /// Directory NACKs received (requests that raced a range
+        /// migration) and the immediate retransmissions they triggered.
+        std::uint64_t nacks{0};
+        std::uint64_t nack_retries{0};
         /// Wire-level retransmissions by the retry transport (not
         /// counted in gets_sent/puts_sent, which are logical requests).
         std::uint64_t retransmits{0};
@@ -161,6 +174,7 @@ private:
 
     void on_datagram(sim::HostAddr src, std::uint16_t src_port,
                      std::span<const std::byte> payload);
+    void on_nack(std::uint32_t seq);
     std::uint32_t send(KvOp op, const Key16& key, WireValue value);
 
     sim::Host* host_;
@@ -170,6 +184,9 @@ private:
     std::uint32_t next_req_{1};
     std::unordered_map<std::uint32_t, Pending> pending_;   ///< by req_id
     std::unordered_map<std::uint32_t, std::uint32_t> req_of_seq_;
+    /// Armed NACK-retry timers by seq (dropping a TimerRef disarms it,
+    /// so the pending nudges must be held somewhere).
+    std::unordered_map<std::uint32_t, sim::TimerRef> nack_timers_;
     Stats stats_;
     Samples get_latency_;
     Samples put_latency_;

@@ -166,6 +166,26 @@ std::optional<ParsedFrame> parse_frame(std::span<const std::byte> frame) {
     return out;
 }
 
+bool rewrite_frame_ipv4_dst(std::span<std::byte> frame, HostAddr dst) noexcept {
+    if (frame.size() < EthernetHeader::kSize + Ipv4Header::kSize) return false;
+    if (frame[12] != std::byte{0x08} || frame[13] != std::byte{0x00}) {
+        return false;  // not IPv4
+    }
+    if (frame[14] != std::byte{0x45}) return false;
+    // Ethernet dst MAC (frames carry the host address in the low MAC
+    // bits — see build_udp_frame): bytes [0, 6).
+    const auto mac = static_cast<MacAddr>(dst);
+    for (int i = 0; i < 6; ++i) {
+        frame[5 - i] = static_cast<std::byte>((mac >> (8 * i)) & 0xff);
+    }
+    // IPv4 dst: the last 4 bytes of the 20-byte IPv4 header.
+    const std::size_t ip_dst = EthernetHeader::kSize + Ipv4Header::kSize - 4;
+    for (int i = 0; i < 4; ++i) {
+        frame[ip_dst + i] = static_cast<std::byte>((dst >> (8 * (3 - i))) & 0xff);
+    }
+    return true;
+}
+
 bool mark_frame_ecn_ce(std::span<std::byte> frame) noexcept {
     // Ethernet(14) + at least the IPv4 version/IHL and TOS bytes.
     if (frame.size() < EthernetHeader::kSize + Ipv4Header::kSize) return false;

@@ -132,4 +132,11 @@ std::optional<ParsedFrame> parse_frame(std::span<const std::byte> frame);
 /// Returns false (frame untouched) for frames that are not IPv4.
 bool mark_frame_ecn_ce(std::span<std::byte> frame) noexcept;
 
+/// Rewrite the destination of an already-serialized IPv4 frame in
+/// place (Ethernet dst MAC + IPv4 dst) — the header rewrite a steering
+/// program (the kv directory tenant) performs before re-forwarding,
+/// without reserializing the whole frame. Returns false (frame
+/// untouched) for frames that are not IPv4.
+bool rewrite_frame_ipv4_dst(std::span<std::byte> frame, HostAddr dst) noexcept;
+
 }  // namespace daiet::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "common/contracts.hpp"
@@ -106,9 +107,37 @@ void Network::install_switch_addresses(
     const auto adj = adjacency();
     for (const auto& [target, vaddr] : targets) {
         DAIET_EXPECTS(target != nullptr);
-        DAIET_EXPECTS(host_by_addr(vaddr) == nullptr);  // must not shadow a host
+        // Both conflicts are deployment errors (two services fighting
+        // over one address space), not programming errors: surface them
+        // as catchable exceptions so a mis-deployed tenant fails its
+        // setup instead of silently hijacking traffic.
+        if (host_by_addr(vaddr) != nullptr) {
+            throw std::runtime_error{
+                "Network: switch vaddr " + std::to_string(vaddr) +
+                " shadows the address of host '" + host_by_addr(vaddr)->name() +
+                "'"};
+        }
+        const auto [it, inserted] = switch_vaddrs_.emplace(vaddr, target->id());
+        if (!inserted && it->second != target->id()) {
+            throw std::runtime_error{
+                "Network: switch vaddr " + std::to_string(vaddr) +
+                " is already registered to node " + std::to_string(it->second) +
+                " (cannot re-point it at node " + std::to_string(target->id()) +
+                ")"};
+        }
         install_routes_toward(adj, target->id(), vaddr);
     }
+}
+
+Node* Network::edge_switch_of(const Host& host) const noexcept {
+    for (const auto& link : links_) {
+        // Link endpoints: peer_of(1) is side a, peer_of(0) is side b.
+        Node& a = link->peer_of(1);
+        Node& b = link->peer_of(0);
+        if (&a == &host) return &b;
+        if (&b == &host) return &a;
+    }
+    return nullptr;
 }
 
 StarTopology make_star_l2(Network& net, std::size_t n_hosts, LinkParams params) {

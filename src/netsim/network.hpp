@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -42,9 +43,15 @@ public:
 
     /// Make a *switch* addressable: install ECMP routes for a virtual
     /// address terminating at `target` on every other switch, so hosts
-    /// can send control-plane datagrams (telemetry probes) to a chip.
-    /// The target itself gets no route — a resident program is expected
-    /// to consume the traffic. Callable any time after install_routes().
+    /// can send control-plane datagrams (telemetry probes, directory
+    /// lease invalidations) to a chip. The target itself gets no route —
+    /// a resident program is expected to consume the traffic (a vaddr no
+    /// program claims is simply dropped at the target, never delivered).
+    /// Callable any time after install_routes(). Throws
+    /// std::runtime_error when `vaddr` shadows a real host address or is
+    /// already registered to a *different* node (re-registering the same
+    /// (node, vaddr) pair reinstalls its routes and is fine — services
+    /// are re-deployed, fabrics are not).
     void install_switch_address(const Node& target, HostAddr vaddr) {
         install_switch_addresses({{&target, vaddr}});
     }
@@ -53,6 +60,11 @@ public:
     /// TelemetryService instruments every programmable switch at once).
     void install_switch_addresses(
         const std::vector<std::pair<const Node*, HostAddr>>& targets);
+
+    /// The switch a single-homed host hangs off (its ToR): hosts have
+    /// exactly one link, the far end is the edge switch. nullptr for an
+    /// unconnected host.
+    Node* edge_switch_of(const Host& host) const noexcept;
 
     Host* host_by_addr(HostAddr addr) noexcept;
     const std::vector<Host*>& hosts() const noexcept { return hosts_; }
@@ -80,6 +92,7 @@ private:
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<Link>> links_;
     std::vector<Host*> hosts_;  // addr -> host (addr = index + 1)
+    std::unordered_map<HostAddr, NodeId> switch_vaddrs_;  // registered vaddrs
 };
 
 /// A star ("rack") topology: every host hangs off one switch — the

@@ -43,7 +43,14 @@ std::vector<TreeId> TreePool::acquire(std::size_t n) {
 
 void TreePool::release(TreeId id) {
     DAIET_EXPECTS(id < in_use_.size());
-    DAIET_EXPECTS(in_use_[id]);
+    // A double release is a tenancy conflict (two jobs claiming one
+    // tree id), not a memory-safety bug: with four tenant families
+    // contending for the pool it must surface as a catchable error at
+    // the offending caller, never as a silently re-leasable id.
+    if (!in_use_[id]) {
+        throw std::runtime_error{"TreePool: tree id " + std::to_string(id) +
+                                 " released twice (or never leased)"};
+    }
     in_use_[id] = false;
     --leased_;
 }

@@ -135,6 +135,17 @@ void RetryChannel::on_timeout(std::uint32_t seq) {
     transmit(seq, request);
 }
 
+bool RetryChannel::nudge(std::uint32_t seq) {
+    const auto it = requests_.find(seq);
+    if (it == requests_.end() || !it->second.in_flight) return false;
+    Request& request = it->second;
+    if (request.attempts >= options_.max_attempts) return false;
+    if (request.timer) request.timer->cancel();
+    ++stats_.nudges;
+    transmit(seq, request);
+    return true;
+}
+
 bool RetryChannel::complete(std::uint32_t seq) {
     const auto it = requests_.find(seq);
     if (it == requests_.end() || !it->second.in_flight) {

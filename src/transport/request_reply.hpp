@@ -70,6 +70,8 @@ struct RetryOptions {
 struct RetryStats {
     std::uint64_t requests{0};
     std::uint64_t retransmits{0};
+    /// Retransmissions forced early by nudge() (also in retransmits).
+    std::uint64_t nudges{0};
     std::uint64_t replies{0};
     std::uint64_t duplicate_replies{0};
     std::uint64_t abandoned{0};
@@ -103,6 +105,16 @@ public:
     /// request (cancels the timer, releases the key's barrier); false
     /// for duplicates and unknown seqs — the caller must drop those.
     bool complete(std::uint32_t seq);
+
+    /// Retransmit `seq` right now instead of waiting out its RTO — the
+    /// reaction to an explicit negative signal from the fabric (a kv
+    /// directory NACK for a range that is mid-migration: the request
+    /// provably died at a known switch, so the RTO's loss inference is
+    /// redundant). Consumes an attempt and re-arms the backed-off timer
+    /// like any retransmission. Returns false — and does nothing — for
+    /// requests that are unknown, still queued behind a barrier, or out
+    /// of attempts (the armed timer then drives abandonment).
+    bool nudge(std::uint32_t seq);
 
     /// Invoked after a request exhausts its attempt budget (its barrier
     /// is released first, so the key cannot wedge).

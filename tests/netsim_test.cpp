@@ -330,5 +330,68 @@ TEST(Network, HostByAddrLookup) {
     EXPECT_EQ(net.host_by_addr(999), nullptr);
 }
 
+TEST(Network, EdgeSwitchOfFindsTheTor) {
+    Network net;
+    auto topo = make_leaf_spine_l2(net, 2, 2, 2);
+    net.install_routes();
+    EXPECT_EQ(net.edge_switch_of(*topo.hosts[0]), topo.leaves[0]);
+    EXPECT_EQ(net.edge_switch_of(*topo.hosts[3]), topo.leaves[1]);
+}
+
+// ----------------------------------------------- switch vaddr edge cases
+
+TEST(SwitchVaddr, DuplicateRegistrationToAnotherNodeThrows) {
+    Network net;
+    auto topo = make_leaf_spine_l2(net, 2, 2, 1);
+    net.install_routes();
+    constexpr HostAddr kVaddr = 0xF0000123u;
+    net.install_switch_address(*topo.spines[0], kVaddr);
+    // Re-registering the same (node, vaddr) pair is a reinstall, fine.
+    EXPECT_NO_THROW(net.install_switch_address(*topo.spines[0], kVaddr));
+    // Pointing the same vaddr at a different node is a deployment
+    // conflict (two services fighting over one address) and must be
+    // rejected before any route is overwritten.
+    EXPECT_THROW(net.install_switch_address(*topo.spines[1], kVaddr),
+                 std::runtime_error);
+}
+
+TEST(SwitchVaddr, CollidingWithAHostAddressThrows) {
+    Network net;
+    auto topo = make_leaf_spine_l2(net, 2, 2, 1);
+    net.install_routes();
+    EXPECT_THROW(net.install_switch_address(*topo.spines[0],
+                                            topo.hosts[0]->addr()),
+                 std::runtime_error);
+}
+
+TEST(SwitchVaddr, ProbingAnUnclaimedVaddrDropsAtTheTarget) {
+    Network net;
+    auto topo = make_leaf_spine_l2(net, 2, 2, 2);
+    net.install_routes();
+    // A vaddr on a plain L2 switch with no resident program claiming
+    // it: frames route *toward* the target and die there (the target
+    // has no route for its own vaddr, by design), with no delivery, no
+    // reply and no wedged simulation.
+    constexpr HostAddr kVaddr = 0xF0000777u;
+    net.install_switch_address(*topo.spines[1], kVaddr);
+    Host& probe_src = *topo.hosts[0];
+    std::vector<std::byte> payload{16, std::byte{0x5A}};
+    bool delivered = false;
+    for (Host* host : net.hosts()) {
+        host->udp_bind(7100, [&](HostAddr, std::uint16_t,
+                                 std::span<const std::byte>) {
+            delivered = true;
+        });
+    }
+    probe_src.udp_send(kVaddr, 7100, 7100, payload);
+    const SimTime end = net.run();  // quiesces instead of looping
+    EXPECT_GT(end, 0u);
+    EXPECT_FALSE(delivered);
+    for (Host* host : net.hosts()) {
+        EXPECT_EQ(host->counters().frames_rx_unclaimed, 0u);
+        host->udp_unbind(7100);
+    }
+}
+
 }  // namespace
 }  // namespace daiet::sim

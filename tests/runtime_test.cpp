@@ -86,6 +86,45 @@ TEST(TreePool, RollbackLeavesEveryIdAcquirable) {
     for (const TreeId id : rest) EXPECT_NE(id, held);
 }
 
+TEST(TreePool, DoubleReleaseThrowsAndLeaksNothing) {
+    TreePool pool{3};
+    const TreeId a = pool.acquire();
+    pool.release(a);
+    // With four tenant families contending for the pool, a double
+    // release is a tenancy conflict that must surface at the offending
+    // caller — and must not corrupt the lease count.
+    EXPECT_THROW(pool.release(a), std::runtime_error);
+    EXPECT_EQ(pool.leased(), 0U);
+    EXPECT_EQ(pool.available(), 3U);
+    // The id stays fully leasable afterwards.
+    EXPECT_EQ(pool.acquire(), a);
+}
+
+TEST(TreePool, ReleasingANeverLeasedIdThrows) {
+    TreePool pool{2};
+    EXPECT_THROW(pool.release(1), std::runtime_error);
+    EXPECT_EQ(pool.leased(), 0U);
+}
+
+TEST(TreePool, FourFamiliesContendingExhaustThePoolCleanly) {
+    // The paper's prototype runs 12 concurrent trees; four tenant
+    // families leasing 3 each fill the pool exactly, the 13th lease
+    // fails loudly, and one family finishing frees its slice for the
+    // next job.
+    TreePool pool{12};
+    std::vector<std::vector<TreeId>> families;
+    for (int f = 0; f < 4; ++f) families.push_back(pool.acquire(3));
+    EXPECT_EQ(pool.available(), 0U);
+    EXPECT_THROW(pool.acquire(), std::runtime_error);
+    // A failed bulk lease rolls back fully even from a drained pool.
+    EXPECT_THROW(pool.acquire(2), std::runtime_error);
+    EXPECT_EQ(pool.leased(), 12U);
+    for (const TreeId id : families[2]) pool.release(id);
+    EXPECT_EQ(pool.available(), 3U);
+    const std::vector<TreeId> next = pool.acquire(3);
+    EXPECT_EQ(next, families[2]);
+}
+
 TEST(TreePool, ReleasedIdsAreReusedByBulkAcquire) {
     TreePool pool{3};
     const std::vector<TreeId> first = pool.acquire(3);

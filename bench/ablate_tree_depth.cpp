@@ -29,6 +29,7 @@ int main() {
                         "physical vs logical view)");
 
     BenchJson json{"ablate_tree_depth"};
+    const SimSpeedMeter sim_speed;
     json.config()
         .integer("mappers", cc.num_mappers)
         .integer("reducers", cc.num_reducers)
@@ -72,6 +73,7 @@ int main() {
         }
     }
     table.print(std::cout);
+    sim_speed.stamp(json);
     json.write();
     std::cout << "\n(identical reducer-side reduction in every topology; the "
                  "deeper fabrics additionally keep aggregated traffic off the "

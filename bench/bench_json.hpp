@@ -6,6 +6,7 @@
 // metrics on a root object plus named arrays of flat records.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -13,6 +14,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "netsim/simulator.hpp"
 
 namespace daiet::bench {
 
@@ -120,6 +123,44 @@ private:
     JsonObject root_;
     JsonObject config_;
     std::vector<std::pair<std::string, std::vector<JsonObject>>> arrays_;
+};
+
+/// Stamps simulator speed onto a bench's JSON so sim throughput is
+/// tracked PR-over-PR across every bench, not just the dedicated
+/// macro-bench. Captures wall-clock and the process-wide event counter
+/// at construction — build it first thing in main() so every simulated
+/// event the bench drives is covered — then stamp() writes
+/// events_executed, wall_clock_seconds and derived events_per_sec onto
+/// the root object. Wall-clock includes setup/teardown around the sim
+/// loops, so treat events_per_sec here as a trend signal; the controlled
+/// number lives in BENCH_sim_throughput.json.
+class SimSpeedMeter {
+public:
+    SimSpeedMeter()
+        : start_{std::chrono::steady_clock::now()},
+          start_events_{sim::Simulator::process_events_executed()} {}
+
+    /// `external_events` covers simulated events a bench ran in child
+    /// processes (the throughput macro-bench measures each trial in a
+    /// fresh process), which the in-process counter cannot see.
+    void stamp(BenchJson& json, std::uint64_t external_events = 0) const {
+        const std::uint64_t events =
+            sim::Simulator::process_events_executed() - start_events_ +
+            external_events;
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+        json.root()
+            .integer("events_executed", events)
+            .number("wall_clock_seconds", seconds)
+            .number("events_per_sec",
+                    seconds > 0 ? static_cast<double>(events) / seconds : 0.0);
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t start_events_;
 };
 
 }  // namespace daiet::bench

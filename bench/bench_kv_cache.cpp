@@ -70,6 +70,7 @@ int main() {
                 "promotions");
 
     bench::BenchJson json{"kv_cache"};
+    const bench::SimSpeedMeter sim_speed;
     json.config()
         .integer("num_keys", 2048)
         .integer("requests_per_client", requests)
@@ -110,6 +111,7 @@ int main() {
         std::printf("\n");
     }
 
+    sim_speed.stamp(json);
     json.write();
     std::puts("wrote BENCH_kv_cache.json");
     return 0;

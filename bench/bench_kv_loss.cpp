@@ -73,6 +73,7 @@ int main() {
                 "dup_acks");
 
     bench::BenchJson json{"kv_loss"};
+    const bench::SimSpeedMeter sim_speed;
     json.config()
         .integer("num_keys", 2048)
         .integer("requests_per_client", requests)
@@ -133,6 +134,7 @@ int main() {
         }
     }
 
+    sim_speed.stamp(json);
     json.write();
     std::puts("\nwrote BENCH_kv_loss.json");
     return healthy ? 0 : 1;

@@ -258,6 +258,7 @@ StaleResult run_stale_probe() {
 int main() {
     const std::size_t requests = std::max<std::size_t>(bench::scaled(600), 120);
     bench::BenchJson json{"kv_shard"};
+    const bench::SimSpeedMeter sim_speed;
     json.config()
         .integer("seed_fabric", 23)
         .integer("seed_scaling_workload", 11)
@@ -411,6 +412,7 @@ int main() {
         healthy = false;
     }
 
+    sim_speed.stamp(json);
     json.write();
     std::puts("\nwrote BENCH_kv_shard.json");
     return healthy ? 0 : 1;

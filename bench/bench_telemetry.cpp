@@ -292,6 +292,7 @@ bool run_parity() {
 int main() {
     const std::size_t requests = bench::scaled(900);
     bench::BenchJson json{"telemetry"};
+    const bench::SimSpeedMeter sim_speed;
     json.config()
         .integer("num_keys", 256)
         .integer("requests_per_client", requests)
@@ -418,6 +419,7 @@ int main() {
     json.push("parity").integer("deterministic", parity ? 1 : 0);
     healthy &= parity;
 
+    sim_speed.stamp(json);
     json.write();
     std::puts("\nwrote BENCH_telemetry.json");
     return healthy ? 0 : 1;

@@ -21,6 +21,7 @@ inline void run_overlap_experiment(const std::string& figure,
                                    ml::OptimizerKind optimizer,
                                    std::size_t batch_size,
                                    const std::string& expectation) {
+    const SimSpeedMeter sim_speed;
     ml::TrainingConfig cfg;
     cfg.optimizer = optimizer;
     cfg.batch_size = batch_size;
@@ -88,6 +89,7 @@ inline void run_overlap_experiment(const std::string& figure,
         .number("final_loss", result.final_loss)
         .number("final_accuracy", result.final_accuracy)
         .integer("num_steps", result.steps.size());
+    sim_speed.stamp(json);
     json.write();
 }
 

@@ -22,6 +22,7 @@ int main() {
     using namespace daiet::bench;
     using namespace daiet::graph;
 
+    const SimSpeedMeter sim_speed;
     RmatConfig rc;
     rc.scale = 17;
     if (scale_factor() >= 2.0) rc.scale = 18;
@@ -133,6 +134,7 @@ int main() {
             .integer("wire_pairs_received", st.wire_pairs_received)
             .number("realized_reduction", st.realized_wire_reduction());
     }
+    sim_speed.stamp(json);
     json.write();
     return 0;
 }

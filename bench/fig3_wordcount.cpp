@@ -21,6 +21,7 @@ int main() {
     using namespace daiet::bench;
     using namespace daiet::mr;
 
+    const SimSpeedMeter sim_speed;
     CorpusConfig cc;  // paper-shaped defaults (scaled corpus, same multiplicity)
     cc.total_words = scaled(1'200'000);
     cc.vocabulary_size = scaled(144'000);
@@ -135,6 +136,7 @@ int main() {
     json.root()
         .integer("switch_sram_used_bytes", daiet_run.switch_sram_used_bytes)
         .integer("switch_recirculations", daiet_run.switch_recirculations);
+    sim_speed.stamp(json);
     json.write();
 
     std::cout << "\nswitch: SRAM used "

@@ -35,7 +35,7 @@ struct PipelineHarness {
         return sc;
     }
 
-    std::vector<std::byte> daiet_frame(std::uint64_t salt) {
+    FrameBuf daiet_frame(std::uint64_t salt) {
         Rng rng{salt};
         std::vector<KvPair> pairs;
         for (int i = 0; i < 10; ++i) {

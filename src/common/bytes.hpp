@@ -36,6 +36,13 @@ public:
     /// capacity == 0 means unbounded.
     explicit ByteWriter(std::size_t capacity) : capacity_{capacity} {}
 
+    /// Serialize directly into caller-owned storage (e.g. a FrameBuf
+    /// slab) instead of a growable vector — the zero-allocation path for
+    /// frame builders. Writing past the span throws BufferError; take()
+    /// is unavailable in this mode.
+    explicit ByteWriter(std::span<std::byte> fixed)
+        : fixed_{fixed}, fixed_mode_{true}, capacity_{fixed.size()} {}
+
     void put_u8(std::uint8_t v) { append(&v, 1); }
 
     void put_u16(std::uint16_t v) {
@@ -77,18 +84,35 @@ public:
     /// Pad with `count` zero bytes.
     void put_zeros(std::size_t count) {
         ensure_room(count);
-        buf_.insert(buf_.end(), count, std::byte{0});
+        if (fixed_mode_) {
+            std::memset(fixed_.data() + fixed_size_, 0, count);
+            fixed_size_ += count;
+        } else {
+            buf_.insert(buf_.end(), count, std::byte{0});
+        }
     }
 
-    std::size_t size() const noexcept { return buf_.size(); }
-    bool empty() const noexcept { return buf_.empty(); }
-    std::span<const std::byte> bytes() const noexcept { return buf_; }
+    std::size_t size() const noexcept {
+        return fixed_mode_ ? fixed_size_ : buf_.size();
+    }
+    bool empty() const noexcept { return size() == 0; }
+    std::span<const std::byte> bytes() const noexcept {
+        return fixed_mode_ ? fixed_.first(fixed_size_)
+                           : std::span<const std::byte>{buf_};
+    }
 
-    std::vector<std::byte> take() noexcept { return std::move(buf_); }
+    /// Growable mode only: a fixed-span writer does not own its bytes.
+    std::vector<std::byte> take() noexcept {
+        DAIET_EXPECTS(!fixed_mode_);
+        return std::move(buf_);
+    }
 
 private:
-    void ensure_room(std::size_t extra) {
-        if (capacity_ != 0 && buf_.size() + extra > capacity_) {
+    void ensure_room(std::size_t extra) const {
+        // Fixed mode is always bounded (even by an empty span); growable
+        // mode treats capacity 0 as unbounded.
+        const std::size_t cap = fixed_mode_ ? fixed_.size() : capacity_;
+        if ((fixed_mode_ || cap != 0) && size() + extra > cap) {
             throw BufferError{"ByteWriter capacity exceeded"};
         }
     }
@@ -96,10 +120,18 @@ private:
     void append(const void* data, std::size_t n) {
         ensure_room(n);
         const auto* p = static_cast<const std::byte*>(data);
-        buf_.insert(buf_.end(), p, p + n);
+        if (fixed_mode_) {
+            std::memcpy(fixed_.data() + fixed_size_, p, n);
+            fixed_size_ += n;
+        } else {
+            buf_.insert(buf_.end(), p, p + n);
+        }
     }
 
     std::vector<std::byte> buf_;
+    std::span<std::byte> fixed_;
+    std::size_t fixed_size_{0};
+    bool fixed_mode_{false};
     std::size_t capacity_{0};
 };
 

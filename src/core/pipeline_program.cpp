@@ -141,6 +141,10 @@ bool DaietSwitchProgram::claims(const sim::ParsedFrame& frame,
            looks_like_daiet(payload);
 }
 
+std::vector<std::uint16_t> DaietSwitchProgram::claim_ports() const {
+    return {config_.udp_port};
+}
+
 bool DaietSwitchProgram::on_claimed(dp::PacketContext& ctx,
                                     const sim::ParsedFrame& /*frame*/,
                                     std::span<const std::byte> payload) {

@@ -72,6 +72,7 @@ public:
                 std::span<const std::byte> payload) const override;
     bool on_claimed(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
                     std::span<const std::byte> payload) override;
+    std::vector<std::uint16_t> claim_ports() const override;
     std::string name() const override { return "daiet"; }
     std::size_t sram_bytes() const override;
 

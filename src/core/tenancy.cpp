@@ -6,6 +6,7 @@
 
 #include "common/bytes.hpp"
 #include "common/contracts.hpp"
+#include "common/framebuf.hpp"  // fastpath_compat()
 
 namespace daiet {
 
@@ -21,11 +22,15 @@ void FabricRouter::install(sim::HostAddr dst, std::vector<dp::PortId> ports) {
         std::min<std::size_t>(ports.size(), rp.ports.size()));
     for (std::size_t i = 0; i < rp.count; ++i) rp.ports[i] = ports[i];
     table_.install(dst, rp);
+    if (dst < kDenseLimit) {
+        if (dense_.size() <= dst) dense_.resize(dst + 1);
+        dense_[dst] = rp;
+    }
 }
 
 void FabricRouter::forward(dp::PacketContext& ctx,
                            const sim::ParsedFrame& frame) const {
-    const RoutePorts* route = table_.apply(ctx, frame.ip.dst);
+    const RoutePorts* route = apply(ctx, frame.ip.dst);
     if (route == nullptr || route->count == 0) {
         ctx.mark_drop();
         return;
@@ -33,7 +38,13 @@ void FabricRouter::forward(dp::PacketContext& ctx,
     std::size_t choice = 0;
     if (route->count > 1) {
         // ECMP flow hash over the 5-tuple via the switch hash unit.
-        ByteWriter w;
+        // The serialized tuple layout is fixed; on the fast path it goes
+        // through a stack buffer instead of a heap-backed ByteWriter
+        // (this runs once per frame per hop). Identical bytes -> the
+        // same CRC -> the same route choice either way.
+        std::byte tuple[13];
+        ByteWriter w = fastpath_compat() ? ByteWriter{}
+                                         : ByteWriter{std::span<std::byte>{tuple}};
         w.put_u32(frame.ip.src);
         w.put_u32(frame.ip.dst);
         w.put_u8(frame.ip.protocol);
@@ -44,9 +55,23 @@ void FabricRouter::forward(dp::PacketContext& ctx,
             w.put_u16(frame.tcp->src_port);
             w.put_u16(frame.tcp->dst_port);
         }
-        choice = ctx.hash(w.bytes()) % route->count;
-        if (route->ports[choice] == ctx.packet().meta().ingress_port) {
-            choice = (choice + 1) % route->count;
+        // ECMP sets in a fat tree are nearly always a power of two, so
+        // on the fast path the hot modulo strength-reduces to a mask
+        // (identical value) and the bounce-back wrap needs no division;
+        // compat keeps the pre-fast-path divide-per-selection cost.
+        const std::uint32_t h = ctx.hash(w.bytes());
+        const std::uint32_t n = route->count;
+        if (fastpath_compat()) {
+            choice = h % n;
+            if (route->ports[choice] == ctx.packet().meta().ingress_port) {
+                choice = (choice + 1) % n;
+            }
+        } else {
+            choice = (n & (n - 1)) == 0 ? (h & (n - 1)) : (h % n);
+            if (route->ports[choice] == ctx.packet().meta().ingress_port) {
+                ++choice;
+                if (choice == n) choice = 0;
+            }
         }
     }
     ctx.set_egress(route->ports[choice]);
@@ -71,8 +96,16 @@ std::optional<sim::ParsedFrame> parse_frame_with_ops(dp::PacketContext& ctx) {
 namespace {
 
 /// The one dispatch loop both the mux and standalone tenants run.
+/// Templated on the tenant handle: the fast path iterates borrowed raw
+/// pointers (this runs per frame per hop, and the callers own the
+/// tenants for the duration of the call) and passes only the tenants
+/// with a real observe() tap in `observers`; compat keeps the
+/// pre-fast-path shared_ptr iteration over every tenant, filter off.
+template <typename TenantPtr>
 void dispatch(dp::PacketContext& ctx, const FabricRouter& router,
-              std::span<const std::shared_ptr<TenantProgram>> tenants) {
+              std::span<const TenantPtr> observers,
+              std::span<const TenantPtr> tenants,
+              const ClaimPortFilter* claim_filter) {
     const auto frame = parse_frame_with_ops(ctx);
     if (!frame) return;
     const auto payload = frame->payload_of(ctx.packet().payload());
@@ -80,11 +113,13 @@ void dispatch(dp::PacketContext& ctx, const FabricRouter& router,
     // recirculated passes — those re-enter mid-pipeline, after the
     // ingress counters, and must not double-count).
     if (ctx.packet().meta().recirc_count == 0) {
-        for (const auto& tenant : tenants) {
+        for (const auto& tenant : observers) {
             tenant->observe(ctx, *frame, payload);
         }
     }
-    if (frame->udp) {
+    if (frame->udp &&
+        (claim_filter == nullptr || claim_filter->hit(frame->udp->dst_port) ||
+         claim_filter->hit(frame->udp->src_port))) {
         for (const auto& tenant : tenants) {
             if (!tenant->claims(*frame, payload)) continue;
             if (tenant->on_claimed(ctx, *frame, payload)) return;
@@ -104,9 +139,19 @@ TenantProgram::TenantProgram(std::shared_ptr<FabricRouter> router)
 }
 
 void TenantProgram::on_packet(dp::PacketContext& ctx) {
-    // Standalone mode: this tenant is the chip's entire pipeline.
-    const std::shared_ptr<TenantProgram> self{std::shared_ptr<TenantProgram>{}, this};
-    dispatch(ctx, *router_, std::span{&self, 1});
+    // Standalone mode: this tenant is the chip's entire pipeline — it
+    // sees every frame, so no claim filter, and its own tap always runs.
+    if (fastpath_compat()) {
+        // Pre-fast-path handle cost: an aliased shared_ptr per packet.
+        const std::shared_ptr<TenantProgram> self{
+            std::shared_ptr<TenantProgram>{}, this};
+        const std::span<const std::shared_ptr<TenantProgram>> all{&self, 1};
+        dispatch(ctx, *router_, all, all, nullptr);
+        return;
+    }
+    TenantProgram* self = this;
+    const std::span<TenantProgram* const> all{&self, 1};
+    dispatch(ctx, *router_, all, all, nullptr);
 }
 
 // ---------------------------------------------------- SwitchProgramMux
@@ -126,6 +171,14 @@ void SwitchProgramMux::add_tenant(std::shared_ptr<TenantProgram> tenant) {
         throw std::runtime_error{"SwitchProgramMux: a tenant named '" +
                                  tenant->name() + "' is already resident"};
     }
+    const std::vector<std::uint16_t> ports = tenant->claim_ports();
+    if (ports.empty()) {
+        claim_filter_valid_ = false;  // unconstrained tenant: filter off
+    } else {
+        for (const std::uint16_t p : ports) claim_filter_.add(p);
+    }
+    if (tenant->passive_observer()) observers_raw_.push_back(tenant.get());
+    tenants_raw_.push_back(tenant.get());
     tenants_.push_back(std::move(tenant));
 }
 
@@ -137,7 +190,16 @@ TenantProgram* SwitchProgramMux::tenant(std::string_view name) const {
 }
 
 void SwitchProgramMux::on_packet(dp::PacketContext& ctx) {
-    dispatch(ctx, *router_, tenants_);
+    if (fastpath_compat()) {
+        // Pre-fast-path shape: every tenant's tap and claim check runs
+        // on every frame, iterating the owning shared_ptrs.
+        const std::span<const std::shared_ptr<TenantProgram>> all{tenants_};
+        dispatch(ctx, *router_, all, all, nullptr);
+        return;
+    }
+    dispatch(ctx, *router_, std::span<TenantProgram* const>{observers_raw_},
+             std::span<TenantProgram* const>{tenants_raw_},
+             claim_filter_valid_ ? &claim_filter_ : nullptr);
 }
 
 std::vector<std::pair<std::string, std::size_t>> SwitchProgramMux::sram_report()

@@ -44,6 +44,24 @@ struct RoutePorts {
     std::uint8_t count{0};
 };
 
+/// Parser-stage claim pre-filter: a bitmap over the UDP ports any
+/// resident tenant might claim traffic on (source or destination). The
+/// mux consults it before running the per-tenant claim loop, so frames
+/// that no tenant could possibly own — the bulk of plain fabric traffic
+/// — skip every tenant's claims() check. This is the classification a
+/// P4 compiler folds into parser states; it narrows nothing, because a
+/// hit still runs the full claim loop.
+struct ClaimPortFilter {
+    std::array<std::uint64_t, 1024> bits{};
+
+    void add(std::uint16_t port) noexcept {
+        bits[port >> 6] |= std::uint64_t{1} << (port & 63);
+    }
+    bool hit(std::uint16_t port) const noexcept {
+        return ((bits[port >> 6] >> (port & 63)) & 1) != 0;
+    }
+};
+
 /// The chip's destination-routing table plus the ECMP selection logic
 /// every resident program shares. One instance per programmable switch;
 /// its SRAM footprint is reserved once from the chip's book.
@@ -63,6 +81,16 @@ public:
     /// Table lookup for program-emitted packets (charged as one table
     /// application; at most once per pass like any table).
     const RoutePorts* apply(dp::PacketContext& ctx, sim::HostAddr dst) const {
+        if (!fastpath_compat() && dst < kDenseLimit) {
+            // Dense mirror of the table for low host addresses: same op
+            // accounting and single-apply rule, array index instead of a
+            // hash lookup on the per-hop path.
+            ctx.note_table_application(table_.name());
+            if (dst < dense_.size() && dense_[dst].count != 0) {
+                return &dense_[dst];
+            }
+            return nullptr;
+        }
         return table_.apply(ctx, dst);
     }
 
@@ -75,7 +103,13 @@ public:
     std::size_t sram_bytes() const noexcept { return table_.footprint_bytes(); }
 
 private:
+    /// Host addresses below this are mirrored into dense_ at install
+    /// time (fabric hosts are numbered densely from zero, so in practice
+    /// every destination qualifies).
+    static constexpr sim::HostAddr kDenseLimit = 1u << 16;
+
     dp::ExactMatchTable<sim::HostAddr, RoutePorts> table_;
+    std::vector<RoutePorts> dense_;
 };
 
 /// A co-resident dataplane program: claims its slice of the traffic and
@@ -103,13 +137,27 @@ public:
     /// how a compiled multi-tenant pipeline really behaves: stat-keeping
     /// control blocks (telemetry) execute on each packet regardless of
     /// which application block terminates it. Ops performed here are
-    /// charged to the packet's pass budget. Default: no-op.
+    /// charged to the packet's pass budget. Default: no-op. A tenant
+    /// overriding this MUST also override passive_observer() to return
+    /// true, or the mux fast path will skip its tap.
     virtual void observe(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
                          std::span<const std::byte> payload) {
         (void)ctx;
         (void)frame;
         (void)payload;
     }
+
+    /// True when observe() is non-trivial for this tenant. The mux only
+    /// runs the taps of tenants that return true (the compiled pipeline
+    /// contains no stage at all for a tenant without one).
+    virtual bool passive_observer() const noexcept { return false; }
+
+    /// The UDP ports that can appear — as source or destination — on a
+    /// frame this tenant might claim; advertised once at registration
+    /// and folded into the mux's ClaimPortFilter. Empty (the default)
+    /// means unconstrained: the mux must offer this tenant every UDP
+    /// frame, which disables the chip-wide pre-filter.
+    virtual std::vector<std::uint16_t> claim_ports() const { return {}; }
 
     /// SRAM this tenant's private register/table state charges to the
     /// chip's book (the shared FabricRouter is charged once, not here).
@@ -162,6 +210,15 @@ public:
 private:
     std::shared_ptr<FabricRouter> router_;
     std::vector<std::shared_ptr<TenantProgram>> tenants_;
+    /// Borrowed views of tenants_, in registration order — the per-hop
+    /// dispatch loop iterates these instead of chasing shared_ptrs.
+    std::vector<TenantProgram*> tenants_raw_;
+    /// Tenants whose observe() tap is non-trivial (registration order).
+    std::vector<TenantProgram*> observers_raw_;
+    /// Union of every tenant's claim_ports(); valid only while all
+    /// resident tenants advertise a port set.
+    ClaimPortFilter claim_filter_;
+    bool claim_filter_valid_{true};
 };
 
 /// Shared parser front end: Ethernet -> IPv4 -> UDP/TCP with the same

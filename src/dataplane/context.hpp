@@ -10,13 +10,16 @@
 // and an explicit recirculate() primitive.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "common/framebuf.hpp"  // fastpath_compat()
 #include "common/hash.hpp"
 #include "dataplane/packet.hpp"
 
@@ -60,6 +63,19 @@ public:
     PacketContext(Packet& packet, std::uint32_t ops_per_pass_budget)
         : packet_{&packet}, budget_{ops_per_pass_budget} {}
 
+    /// Unbound context for reuse across packets (fast path: one context
+    /// per pipeline, rebind() per packet instead of a fresh construct).
+    explicit PacketContext(std::uint32_t ops_per_pass_budget)
+        : packet_{nullptr}, budget_{ops_per_pass_budget} {}
+
+    /// Point at a new packet and clear all cross-pass state; begin_pass()
+    /// still clears the per-pass state before the first pass runs.
+    void rebind(Packet& packet) noexcept {
+        packet_ = &packet;
+        total_ops_ = OpCounters{};
+        emitted_.clear();
+    }
+
     PacketContext(const PacketContext&) = delete;
     PacketContext& operator=(const PacketContext&) = delete;
 
@@ -71,7 +87,16 @@ public:
     void count_op(OpKind kind) {
         ++pass_ops_.by_kind[static_cast<std::size_t>(kind)];
         ++total_ops_.by_kind[static_cast<std::size_t>(kind)];
-        if (budget_ != 0 && pass_ops_.total() > budget_) {
+        if (compat_) {
+            // Pre-fast-path cost model: re-total every kind on each op.
+            if (budget_ != 0 && pass_ops_.total() > budget_) {
+                throw PipelineError{"per-pass operation budget (" +
+                                    std::to_string(budget_) + ") exceeded"};
+            }
+            return;
+        }
+        ++pass_total_;
+        if (budget_ != 0 && pass_total_ > budget_) {
             throw PipelineError{"per-pass operation budget (" +
                                 std::to_string(budget_) + ") exceeded"};
         }
@@ -84,12 +109,37 @@ public:
     }
 
     /// Enforce the "a table can be applied at most once per packet"
-    /// constraint the paper calls out in §5.
-    void note_table_application(const std::string& table_name) {
+    /// constraint the paper calls out in §5. `table_name` must outlive
+    /// the pass (table names are stable members of their tables).
+    void note_table_application(std::string_view table_name) {
         count_op(OpKind::kTableApply);
-        if (!applied_tables_.insert(table_name).second) {
-            throw PipelineError{"table '" + table_name +
-                                "' applied more than once in a single pass"};
+        if (compat_) {
+            // Pre-fast-path cost model: a heap string into a hash set
+            // per application.
+            if (!applied_tables_compat_.insert(std::string{table_name}).second) {
+                throw PipelineError{"table '" + std::string{table_name} +
+                                    "' applied more than once in a single pass"};
+            }
+            return;
+        }
+        // A pass applies a handful of tables; a linear scan over an
+        // inline array beats hashing heap strings and allocates nothing.
+        for (std::size_t i = 0; i < applied_count_; ++i) {
+            if (applied_inline_[i] == table_name) {
+                throw PipelineError{"table '" + std::string{table_name} +
+                                    "' applied more than once in a single pass"};
+            }
+        }
+        for (const std::string_view name : applied_overflow_) {
+            if (name == table_name) {
+                throw PipelineError{"table '" + std::string{table_name} +
+                                    "' applied more than once in a single pass"};
+            }
+        }
+        if (applied_count_ < applied_inline_.size()) {
+            applied_inline_[applied_count_++] = table_name;
+        } else {
+            applied_overflow_.push_back(table_name);
         }
     }
 
@@ -107,7 +157,13 @@ public:
     // --- pipeline-internal hooks -----------------------------------------
     void begin_pass() noexcept {
         pass_ops_ = OpCounters{};
-        applied_tables_.clear();
+        pass_total_ = 0;
+        applied_count_ = 0;
+        applied_overflow_.clear();
+        // The compat set is only ever populated on the compat path;
+        // clearing it per pass on the fast path is a wasted hashtable
+        // call in the single hottest per-packet hook.
+        if (compat_) applied_tables_compat_.clear();
         recirculate_requested_ = false;
     }
     bool recirculate_requested() const noexcept { return recirculate_requested_; }
@@ -119,9 +175,18 @@ public:
 private:
     Packet* packet_;
     std::uint32_t budget_;
+    const bool compat_{fastpath_compat()};
     OpCounters pass_ops_{};
+    /// Running pass total, so the budget check is O(1) per op instead
+    /// of a scan over every op kind.
+    std::uint64_t pass_total_{0};
     OpCounters total_ops_{};
-    std::unordered_set<std::string> applied_tables_;
+    /// Fast path: applied-table names, inline up to 16 then spilling.
+    std::array<std::string_view, 16> applied_inline_{};
+    std::size_t applied_count_{0};
+    std::vector<std::string_view> applied_overflow_;
+    /// Compat path only.
+    std::unordered_set<std::string> applied_tables_compat_;
     std::vector<Packet> emitted_;
     bool recirculate_requested_{false};
 };

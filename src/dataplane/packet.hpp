@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/framebuf.hpp"
+
 namespace daiet::dp {
 
 using PortId = std::uint16_t;
@@ -31,20 +33,23 @@ class Packet {
 public:
     Packet() = default;
 
-    explicit Packet(std::vector<std::byte> payload) : payload_{std::move(payload)} {}
+    explicit Packet(FrameBuf payload) : payload_{std::move(payload)} {}
 
-    Packet(std::vector<std::byte> payload, PacketMeta meta)
+    Packet(FrameBuf payload, PacketMeta meta)
         : payload_{std::move(payload)}, meta_{meta} {}
 
-    std::span<const std::byte> payload() const noexcept { return payload_; }
-    std::vector<std::byte>& mutable_payload() noexcept { return payload_; }
+    std::span<const std::byte> payload() const noexcept { return payload_.bytes(); }
+    FrameBuf& mutable_payload() noexcept { return payload_; }
+    /// Writable bytes (copy-on-write if the frame is shared) — header
+    /// rewrites (ECN, dst steering) go through here.
+    std::span<std::byte> mutable_bytes() { return payload_.mutable_bytes(); }
     std::size_t size_bytes() const noexcept { return payload_.size(); }
 
     PacketMeta& meta() noexcept { return meta_; }
     const PacketMeta& meta() const noexcept { return meta_; }
 
 private:
-    std::vector<std::byte> payload_;
+    FrameBuf payload_;
     PacketMeta meta_;
 };
 

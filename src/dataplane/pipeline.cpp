@@ -12,9 +12,27 @@ Pipeline::Pipeline(PipelineConfig config, std::shared_ptr<PipelineProgram> progr
 }
 
 std::vector<Packet> Pipeline::process(Packet packet) {
-    ++stats_.packets_in;
-    PacketContext ctx{packet, config_.ops_per_pass};
+    std::vector<Packet> out;
+    process_into(std::move(packet), out);
+    return out;
+}
 
+void Pipeline::process_into(Packet packet, std::vector<Packet>& out) {
+    ++stats_.packets_in;
+    if (fastpath_compat()) {
+        PacketContext ctx{packet, config_.ops_per_pass};
+        run_passes(ctx, packet, out);
+        return;
+    }
+    if (!scratch_ctx_) {
+        scratch_ctx_ = std::make_unique<PacketContext>(config_.ops_per_pass);
+    }
+    scratch_ctx_->rebind(packet);
+    run_passes(*scratch_ctx_, packet, out);
+}
+
+void Pipeline::run_passes(PacketContext& ctx, Packet& packet,
+                          std::vector<Packet>& out) {
     for (;;) {
         ctx.begin_pass();
         program_->on_packet(ctx);
@@ -31,18 +49,18 @@ std::vector<Packet> Pipeline::process(Packet packet) {
         }
     }
 
-    std::vector<Packet> out;
-    out.reserve(ctx.emitted().size() + 1);
+    std::size_t n_out = 0;
     if (packet.meta().drop) {
         ++stats_.packets_dropped;
     } else {
         out.push_back(std::move(packet));
+        ++n_out;
     }
     for (auto& extra : ctx.emitted()) {
         out.push_back(std::move(extra));
+        ++n_out;
     }
-    stats_.packets_out += out.size();
-    return out;
+    stats_.packets_out += n_out;
 }
 
 }  // namespace daiet::dp

@@ -58,14 +58,24 @@ public:
     /// original unless dropped, plus any emitted ones).
     std::vector<Packet> process(Packet packet);
 
+    /// Allocation-free variant: append the leaving packets to `out`
+    /// (not cleared), letting callers reuse one scratch vector across
+    /// packets instead of allocating a result per hop.
+    void process_into(Packet packet, std::vector<Packet>& out);
+
     const PipelineStats& stats() const noexcept { return stats_; }
     const PipelineConfig& config() const noexcept { return config_; }
     PipelineProgram& program() noexcept { return *program_; }
 
 private:
+    void run_passes(PacketContext& ctx, Packet& packet, std::vector<Packet>& out);
+
     PipelineConfig config_;
     std::shared_ptr<PipelineProgram> program_;
     PipelineStats stats_{};
+    /// Reusable per-pipeline context (fast path only; the compat path
+    /// constructs one per packet, matching the pre-fast-path cost).
+    std::unique_ptr<PacketContext> scratch_ctx_;
 };
 
 }  // namespace daiet::dp

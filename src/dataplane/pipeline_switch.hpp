@@ -37,10 +37,18 @@ public:
     /// Process a packet arriving on `in_port`; returns all packets to
     /// transmit, each with meta().egress_port set by the program.
     std::vector<Packet> receive(Packet packet, PortId in_port) {
+        std::vector<Packet> out;
+        receive_into(std::move(packet), in_port, out);
+        return out;
+    }
+
+    /// Allocation-free variant of receive(): appends to `out` so the
+    /// per-hop result vector can be a reused scratch buffer.
+    void receive_into(Packet packet, PortId in_port, std::vector<Packet>& out) {
         DAIET_EXPECTS(pipeline_ != nullptr);
         DAIET_EXPECTS(in_port < config_.num_ports);
         packet.meta().ingress_port = in_port;
-        return pipeline_->process(std::move(packet));
+        pipeline_->process_into(std::move(packet), out);
     }
 
     SramBook& sram() noexcept { return sram_; }

@@ -95,6 +95,11 @@ public:
                 std::span<const std::byte> payload) const override;
     bool on_claimed(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
                     std::span<const std::byte> payload) override;
+    /// Invalidations arrive on the directory port, client requests on
+    /// the service's server port.
+    std::vector<std::uint16_t> claim_ports() const override {
+        return {kDirectoryUdpPort, server_udp_port_};
+    }
     std::string name() const override {
         return "edgecache@" + std::to_string(node_->id());
     }

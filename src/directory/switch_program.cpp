@@ -67,8 +67,8 @@ bool DirectorySwitchProgram::on_claimed(dp::PacketContext& ctx,
     // them), and resolve the egress through the shared routing table —
     // the packet's single table application.
     dp::Packet& packet = ctx.packet();
-    const bool rewritten = sim::rewrite_frame_ipv4_dst(
-        std::span<std::byte>{packet.mutable_payload()}, owner);
+    const bool rewritten =
+        sim::rewrite_frame_ipv4_dst(packet.mutable_bytes(), owner);
     DAIET_ASSERT(rewritten);  // claims() guaranteed an IPv4 frame
     ctx.count_op(dp::OpKind::kAlu);  // header rewrite
     sim::ParsedFrame steered = frame;

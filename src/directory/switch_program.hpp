@@ -75,6 +75,9 @@ public:
                 std::span<const std::byte> payload) const override;
     bool on_claimed(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
                     std::span<const std::byte> payload) override;
+    std::vector<std::uint16_t> claim_ports() const override {
+        return {config_.server_udp_port};
+    }
     std::string name() const override {
         return "directory@svc" + std::to_string(config_.service_id);
     }

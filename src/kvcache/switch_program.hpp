@@ -107,6 +107,11 @@ public:
                 std::span<const std::byte> payload) const override;
     bool on_claimed(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
                     std::span<const std::byte> payload) override;
+    /// Claims in either direction carry the server port (dst on
+    /// requests, src on replies).
+    std::vector<std::uint16_t> claim_ports() const override {
+        return {config_.server_udp_port};
+    }
     /// Instance-scoped ("kvcache@<server>"): one fabric can host one
     /// cache tenant per storage server, even behind a shared ToR.
     std::string name() const override {

@@ -110,10 +110,11 @@ TcpHeader TcpHeader::parse(ByteReader& r) {
     return h;
 }
 
-std::vector<std::byte> build_udp_frame(HostAddr src, HostAddr dst,
-                                       std::uint16_t src_port, std::uint16_t dst_port,
-                                       std::span<const std::byte> payload) {
-    ByteWriter w;
+FrameBuf build_udp_frame(HostAddr src, HostAddr dst,
+                         std::uint16_t src_port, std::uint16_t dst_port,
+                         std::span<const std::byte> payload) {
+    FrameBuf frame = FrameBuf::allocate(kUdpFrameOverhead + payload.size());
+    ByteWriter w{frame.mutable_bytes()};
     EthernetHeader eth{.dst = dst, .src = src, .ethertype = kEtherTypeIpv4};
     Ipv4Header ip;
     ip.protocol = kIpProtoUdp;
@@ -130,12 +131,13 @@ std::vector<std::byte> build_udp_frame(HostAddr src, HostAddr dst,
     ip.serialize(w);
     udp.serialize(w);
     w.put_bytes(payload);
-    return w.take();
+    return frame;
 }
 
-std::vector<std::byte> build_tcp_frame(HostAddr src, HostAddr dst, TcpHeader tcp,
-                                       std::span<const std::byte> payload) {
-    ByteWriter w;
+FrameBuf build_tcp_frame(HostAddr src, HostAddr dst, TcpHeader tcp,
+                         std::span<const std::byte> payload) {
+    FrameBuf frame = FrameBuf::allocate(kTcpFrameOverhead + payload.size());
+    ByteWriter w{frame.mutable_bytes()};
     EthernetHeader eth{.dst = dst, .src = src, .ethertype = kEtherTypeIpv4};
     Ipv4Header ip;
     ip.protocol = kIpProtoTcp;
@@ -148,10 +150,30 @@ std::vector<std::byte> build_tcp_frame(HostAddr src, HostAddr dst, TcpHeader tcp
     ip.serialize(w);
     tcp.serialize(w);
     w.put_bytes(payload);
-    return w.take();
+    return frame;
 }
 
-std::optional<ParsedFrame> parse_frame(std::span<const std::byte> frame) {
+namespace {
+
+inline std::uint16_t load_be16(const std::byte* p) noexcept {
+    return static_cast<std::uint16_t>(std::to_integer<std::uint16_t>(p[0]) << 8 |
+                                      std::to_integer<std::uint16_t>(p[1]));
+}
+
+inline std::uint32_t load_be32(const std::byte* p) noexcept {
+    return std::to_integer<std::uint32_t>(p[0]) << 24 |
+           std::to_integer<std::uint32_t>(p[1]) << 16 |
+           std::to_integer<std::uint32_t>(p[2]) << 8 |
+           std::to_integer<std::uint32_t>(p[3]);
+}
+
+inline MacAddr load_mac(const std::byte* p) noexcept {
+    MacAddr mac = 0;
+    for (int i = 0; i < 6; ++i) mac = mac << 8 | std::to_integer<MacAddr>(p[i]);
+    return mac;
+}
+
+std::optional<ParsedFrame> parse_frame_compat(std::span<const std::byte> frame) {
     ByteReader r{frame};
     ParsedFrame out;
     out.eth = EthernetHeader::parse(r);
@@ -163,6 +185,64 @@ std::optional<ParsedFrame> parse_frame(std::span<const std::byte> frame) {
         out.tcp = TcpHeader::parse(r);
     }
     out.payload_offset = r.position();
+    return out;
+}
+
+}  // namespace
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::byte> frame) {
+    if (fastpath_compat()) return parse_frame_compat(frame);
+    // Fast path: this runs once per frame per hop, so it replaces the
+    // per-field bounds-checked ByteReader with one size check per layer
+    // and direct big-endian loads. Outcomes (headers, payload offset,
+    // nullopt and BufferError cases) are identical to the compat path.
+    const std::byte* p = frame.data();
+    const std::size_t n = frame.size();
+    if (n < EthernetHeader::kSize) throw BufferError{"ByteReader: out of bounds"};
+    ParsedFrame out;
+    out.eth.dst = load_mac(p);
+    out.eth.src = load_mac(p + 6);
+    out.eth.ethertype = load_be16(p + 12);
+    if (out.eth.ethertype != kEtherTypeIpv4) return std::nullopt;
+    constexpr std::size_t kIpEnd = EthernetHeader::kSize + Ipv4Header::kSize;
+    if (n < kIpEnd) throw BufferError{"ByteReader: out of bounds"};
+    if (p[14] != std::byte{0x45}) {
+        throw BufferError{"Ipv4Header: unsupported version/IHL"};
+    }
+    out.ip.ecn = std::to_integer<std::uint8_t>(p[15]) & 0x03;
+    out.ip.total_length = load_be16(p + 16);
+    out.ip.ttl = std::to_integer<std::uint8_t>(p[22]);
+    out.ip.protocol = std::to_integer<std::uint8_t>(p[23]);
+    out.ip.src = load_be32(p + 26);
+    out.ip.dst = load_be32(p + 30);
+    out.payload_offset = kIpEnd;
+    if (out.ip.protocol == kIpProtoUdp) {
+        if (n < kIpEnd + UdpHeader::kSize) {
+            throw BufferError{"ByteReader: out of bounds"};
+        }
+        UdpHeader udp;
+        udp.src_port = load_be16(p + kIpEnd);
+        udp.dst_port = load_be16(p + kIpEnd + 2);
+        udp.length = load_be16(p + kIpEnd + 4);
+        out.udp = udp;
+        out.payload_offset = kIpEnd + UdpHeader::kSize;
+    } else if (out.ip.protocol == kIpProtoTcp) {
+        if (n < kIpEnd + TcpHeader::kSize) {
+            throw BufferError{"ByteReader: out of bounds"};
+        }
+        TcpHeader tcp;
+        tcp.src_port = load_be16(p + kIpEnd);
+        tcp.dst_port = load_be16(p + kIpEnd + 2);
+        tcp.seq = load_be32(p + kIpEnd + 4);
+        tcp.ack = load_be32(p + kIpEnd + 8);
+        if (p[kIpEnd + 12] != std::byte{0x50}) {
+            throw BufferError{"TcpHeader: options not supported"};
+        }
+        tcp.flags = std::to_integer<std::uint8_t>(p[kIpEnd + 13]);
+        tcp.window = load_be16(p + kIpEnd + 14);
+        out.tcp = tcp;
+        out.payload_offset = kIpEnd + TcpHeader::kSize;
+    }
     return out;
 }
 

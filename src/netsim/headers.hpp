@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/framebuf.hpp"
 
 namespace daiet::sim {
 
@@ -101,14 +102,16 @@ inline constexpr std::size_t kUdpFrameOverhead =
 inline constexpr std::size_t kTcpFrameOverhead =
     EthernetHeader::kSize + Ipv4Header::kSize + TcpHeader::kSize;  // 54
 
-/// Build a complete UDP frame (Ethernet+IPv4+UDP+payload).
-std::vector<std::byte> build_udp_frame(HostAddr src, HostAddr dst,
-                                       std::uint16_t src_port, std::uint16_t dst_port,
-                                       std::span<const std::byte> payload);
+/// Build a complete UDP frame (Ethernet+IPv4+UDP+payload). The frame is
+/// serialized straight into a pooled FrameBuf slab — no intermediate
+/// vector.
+FrameBuf build_udp_frame(HostAddr src, HostAddr dst,
+                         std::uint16_t src_port, std::uint16_t dst_port,
+                         std::span<const std::byte> payload);
 
 /// Build a complete TCP frame (Ethernet+IPv4+TCP+payload).
-std::vector<std::byte> build_tcp_frame(HostAddr src, HostAddr dst, TcpHeader tcp,
-                                       std::span<const std::byte> payload);
+FrameBuf build_tcp_frame(HostAddr src, HostAddr dst, TcpHeader tcp,
+                         std::span<const std::byte> payload);
 
 /// A parsed frame: headers plus the payload offset into the raw bytes.
 struct ParsedFrame {

@@ -26,11 +26,20 @@ void Host::udp_send(HostAddr dst, std::uint16_t src_port, std::uint16_t dst_port
 TimerRef Host::timer_after(SimTime delay, std::function<void()> fn) {
     DAIET_EXPECTS(fn != nullptr);
     auto timer = std::make_shared<Timer>();
-    simulator().schedule_after(
-        delay, [weak = std::weak_ptr<Timer>{timer}, fn = std::move(fn)] {
-            const auto armed = weak.lock();
-            if (armed && armed->armed()) fn();
-        });
+    timer->fn_ = std::move(fn);
+    timer->reclaimed_ = tombstones_reclaimed_;
+    // The queued event holds only a weak handle: cancelling (or dropping)
+    // the timer frees the callback and its captures right away, and the
+    // eventual firing of this tombstone touches nothing.
+    simulator().schedule_after(delay, [weak = std::weak_ptr<Timer>{timer}] {
+        const auto timer = weak.lock();
+        if (!timer || !timer->armed()) return;
+        // Move the callback out first so a self-cancelling callback (a
+        // retransmit handler re-arming itself) finds a disarmed timer.
+        auto fn = std::move(timer->fn_);
+        timer->fn_ = nullptr;
+        if (fn) fn();
+    });
     return timer;
 }
 
@@ -55,14 +64,14 @@ TcpConnection& Host::tcp_connect(HostAddr dst, std::uint16_t dst_port) {
     return ref;
 }
 
-void Host::send_frame(std::vector<std::byte> frame) {
+void Host::send_frame(FrameBuf frame) {
     DAIET_EXPECTS(port_count() >= 1);
     ++counters_.frames_tx;
     counters_.bytes_tx += frame.size();
     transmit(0, std::move(frame));
 }
 
-void Host::handle_frame(std::vector<std::byte> frame, PortId /*in_port*/) {
+void Host::handle_frame(FrameBuf frame, PortId /*in_port*/) {
     ++counters_.frames_rx;
     counters_.bytes_rx += frame.size();
     counters_.last_rx_time = simulator().now();

@@ -39,13 +39,33 @@ using UdpHandler =
 
 /// Handle for a cancellable one-shot host timer (Host::timer_after).
 /// Cancelling — or simply dropping the last reference — disarms it; the
-/// underlying simulator event still fires but runs nothing.
+/// underlying simulator event still fires but runs nothing. The timer
+/// owns its callback, so cancellation (or handle drop) frees the
+/// captured state immediately instead of leaving a tombstone closure in
+/// the event queue until the original fire time — retransmission timers
+/// that almost always cancel would otherwise pin their request payloads
+/// for a full timeout.
 class Timer {
 public:
-    void cancel() noexcept { armed_ = false; }
+    ~Timer() { reclaim(); }
+    void cancel() noexcept {
+        armed_ = false;
+        reclaim();
+    }
     bool armed() const noexcept { return armed_; }
 
 private:
+    friend class Host;
+
+    /// Drop the payload before fire time; counts once per tombstone.
+    void reclaim() noexcept {
+        if (!fn_) return;
+        fn_ = nullptr;
+        if (reclaimed_ != nullptr) ++*reclaimed_;
+    }
+
+    std::function<void()> fn_;
+    std::shared_ptr<std::uint64_t> reclaimed_;
     bool armed_{true};
 };
 using TimerRef = std::shared_ptr<Timer>;
@@ -85,16 +105,22 @@ public:
     const HostCounters& counters() const noexcept { return counters_; }
     void reset_counters() noexcept { counters_ = HostCounters{}; }
 
+    /// Timers whose callback payload was dropped at cancel/release time
+    /// instead of lingering in the event queue until fire time.
+    std::uint64_t timer_tombstones_reclaimed() const noexcept {
+        return *tombstones_reclaimed_;
+    }
+
     /// Ancillary data of the datagram being delivered (IP_RECVTOS
     /// flavoured): true while a UDP handler runs for a frame that
     /// arrived with the Congestion Experienced mark. Only meaningful
     /// inside a handler invocation.
     bool rx_ecn_ce() const noexcept { return rx_ecn_ce_; }
 
-    void handle_frame(std::vector<std::byte> frame, PortId in_port) override;
+    void handle_frame(FrameBuf frame, PortId in_port) override;
 
     /// Hosts are single-homed: all egress uses port 0.
-    void send_frame(std::vector<std::byte> frame);
+    void send_frame(FrameBuf frame);
 
 private:
     friend class TcpConnection;
@@ -114,6 +140,10 @@ private:
     std::map<std::uint16_t, std::unique_ptr<TcpListener>> tcp_listeners_;
     std::map<TcpKey, std::unique_ptr<TcpConnection>> tcp_connections_;
     std::uint16_t next_ephemeral_port_{49152};
+    /// Shared with every Timer so a handle outliving the host still has
+    /// somewhere safe to count its reclaim.
+    std::shared_ptr<std::uint64_t> tombstones_reclaimed_{
+        std::make_shared<std::uint64_t>(0)};
 };
 
 }  // namespace daiet::sim

@@ -15,7 +15,7 @@ Link::Link(Simulator& sim, Node& a, Node& b, LinkParams params, std::uint64_t lo
     port_b_ = b.attach_link(this, 1);
 }
 
-void Link::transmit(int from_side, std::vector<std::byte> frame) {
+void Link::transmit(int from_side, FrameBuf frame) {
     DAIET_EXPECTS(from_side == 0 || from_side == 1);
     Direction& dir = dir_[from_side];
     const std::size_t size = frame.size();
@@ -37,13 +37,27 @@ void Link::transmit(int from_side, std::vector<std::byte> frame) {
     // them (the watermark signal the telemetry tenant also reports).
     if (params_.ecn_threshold_bytes != 0 &&
         dir.backlog_bytes + size > params_.ecn_threshold_bytes &&
-        mark_frame_ecn_ce(frame)) {
+        mark_frame_ecn_ce(frame.mutable_bytes())) {
         ++dir.stats.frames_marked_ecn;
     }
 
     const SimTime now = sim_->now();
     const SimTime start = std::max(now, dir.busy_until);
-    const SimTime ser = transmission_time_ns(size, params_.gbps);
+    // One-entry memo for the serialization delay: fabric traffic is
+    // dominated by a handful of fixed frame sizes, and the memo skips a
+    // floating-point divide per frame while returning bit-identical
+    // values (it caches the function's own result). Compat keeps the
+    // pre-fast-path divide-per-frame cost model.
+    SimTime ser;
+    if (fastpath_compat()) {
+        ser = transmission_time_ns(size, params_.gbps);
+    } else {
+        if (size != ser_memo_bytes_) {
+            ser_memo_bytes_ = size;
+            ser_memo_ns_ = transmission_time_ns(size, params_.gbps);
+        }
+        ser = ser_memo_ns_;
+    }
     const SimTime done = start + ser;
     dir.busy_until = done;
     dir.backlog_bytes += size;
@@ -55,16 +69,15 @@ void Link::transmit(int from_side, std::vector<std::byte> frame) {
     const PortId dst_port = peer_port(from_side);
     const SimTime arrival = done + params_.propagation_delay;
 
-    sim_->schedule_at(arrival, [this, from_side, dst_port, &dst,
+    sim_->schedule_at(arrival, [d = &dir, dst_port, &dst,
                                 f = std::move(frame)]() mutable {
-        Direction& d = dir_[from_side];
-        d.backlog_bytes -= f.size();
-        ++d.stats.frames_delivered;
+        d->backlog_bytes -= f.size();
+        ++d->stats.frames_delivered;
         dst.handle_frame(std::move(f), dst_port);
     });
 }
 
-void Node::transmit(PortId p, std::vector<std::byte> frame) {
+void Node::transmit(PortId p, FrameBuf frame) {
     const PortBinding& binding = port(p);
     DAIET_EXPECTS(binding.link != nullptr);
     binding.link->transmit(binding.side, std::move(frame));

@@ -41,7 +41,7 @@ public:
 
     /// Enqueue `frame` for transmission away from side `from_side`
     /// (0 = from a towards b, 1 = from b towards a).
-    void transmit(int from_side, std::vector<std::byte> frame);
+    void transmit(int from_side, FrameBuf frame);
 
     const LinkParams& params() const noexcept { return params_; }
     const LinkDirectionStats& stats(int from_side) const {
@@ -88,6 +88,9 @@ private:
     LinkParams params_;
     Direction dir_[2];
     Rng loss_rng_;
+    /// Serialization-delay memo (see transmit()).
+    std::size_t ser_memo_bytes_{~std::size_t{0}};
+    SimTime ser_memo_ns_{0};
 };
 
 }  // namespace daiet::sim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/framebuf.hpp"
 #include "netsim/time.hpp"
 
 namespace daiet::sim {
@@ -38,7 +39,7 @@ public:
     Node& operator=(const Node&) = delete;
 
     /// Deliver a frame arriving on `in_port`.
-    virtual void handle_frame(std::vector<std::byte> frame, PortId in_port) = 0;
+    virtual void handle_frame(FrameBuf frame, PortId in_port) = 0;
 
     NodeId id() const noexcept { return id_; }
     const std::string& name() const noexcept { return name_; }
@@ -54,7 +55,7 @@ public:
     std::size_t port_count() const noexcept { return ports_.size(); }
 
     /// Transmit a frame out of `port`.
-    void transmit(PortId port, std::vector<std::byte> frame);
+    void transmit(PortId port, FrameBuf frame);
 
     /// Sample the egress queue behind `port` (telemetry instrumentation;
     /// `reset_peak` opens a fresh watermark window after reading).

@@ -22,7 +22,7 @@ std::size_t ecmp_index(const ParsedFrame& frame, std::size_t n_choices) {
     return static_cast<std::size_t>(h % n_choices);
 }
 
-void L2Switch::handle_frame(std::vector<std::byte> frame, PortId in_port) {
+void L2Switch::handle_frame(FrameBuf frame, PortId in_port) {
     const auto parsed = parse_frame(frame);
     if (!parsed) {
         ++stats_.frames_dropped_no_route;
@@ -50,10 +50,11 @@ void PipelineSwitchNode::install_route(HostAddr dst, std::vector<PortId> ports) 
     sink->install_route(dst, std::move(ports));
 }
 
-void PipelineSwitchNode::handle_frame(std::vector<std::byte> frame, PortId in_port) {
+void PipelineSwitchNode::handle_frame(FrameBuf frame, PortId in_port) {
     dp::Packet packet{std::move(frame)};
-    auto outputs = chip_.receive(std::move(packet), in_port);
-    for (auto& out : outputs) {
+    rx_scratch_.clear();
+    chip_.receive_into(std::move(packet), in_port, rx_scratch_);
+    for (auto& out : rx_scratch_) {
         const dp::PortId egress = out.meta().egress_port;
         if (egress == dp::kPortInvalid || egress >= port_count()) {
             ++stats_.frames_dropped_no_route;

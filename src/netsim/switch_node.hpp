@@ -40,7 +40,7 @@ public:
         routes_[dst] = std::move(ports);
     }
 
-    void handle_frame(std::vector<std::byte> frame, PortId in_port) override;
+    void handle_frame(FrameBuf frame, PortId in_port) override;
 
     const SwitchStats& stats() const noexcept { return stats_; }
 
@@ -64,13 +64,17 @@ public:
     /// Forward route installation to the program if it is a RouteSink.
     void install_route(HostAddr dst, std::vector<PortId> ports);
 
-    void handle_frame(std::vector<std::byte> frame, PortId in_port) override;
+    void handle_frame(FrameBuf frame, PortId in_port) override;
 
     const SwitchStats& stats() const noexcept { return stats_; }
 
 private:
     dp::PipelineSwitch chip_;
     SwitchStats stats_;
+    /// Reused across frames so steady-state forwarding allocates no
+    /// per-hop result vector. Safe because frame delivery is a future
+    /// simulator event, never a synchronous re-entry of handle_frame.
+    std::vector<dp::Packet> rx_scratch_;
 };
 
 /// Flow-hash based ECMP selection shared by both switch types.

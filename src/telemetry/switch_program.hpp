@@ -67,6 +67,11 @@ public:
                 std::span<const std::byte> payload) const override;
     bool on_claimed(dp::PacketContext& ctx, const sim::ParsedFrame& frame,
                     std::span<const std::byte> payload) override;
+    /// The sketch tap in observe() must run on every frame.
+    bool passive_observer() const noexcept override { return true; }
+    std::vector<std::uint16_t> claim_ports() const override {
+        return {config_.telemetry_udp_port};
+    }
     std::string name() const override {
         return "telemetry@" + std::to_string(node_->id());
     }

@@ -393,5 +393,201 @@ TEST(SwitchVaddr, ProbingAnUnclaimedVaddrDropsAtTheTarget) {
     }
 }
 
+// --------------------------------------------------- event queue details
+
+// The fast-path queue fronts a timing wheel with a far-future overflow
+// heap (see simulator.hpp). Events beyond the wheel window must migrate
+// in as the window advances, and quiet stretches must jump the window
+// rather than walking empty buckets — in both cases firing in exact
+// (time, seq) order.
+TEST(Simulator, FarFutureEventsFireInOrder) {
+    Simulator sim;
+    std::vector<std::uint64_t> order;
+    const SimTime times[] = {5 * kMillisecond,       100,
+                             20 * kMicrosecond,      kMillisecond,
+                             50,                     16 * kMicrosecond + 3,
+                             300};
+    for (const SimTime t : times) {
+        sim.schedule_at(t, [&order, t] { order.push_back(t); });
+    }
+    // Nested schedules from the running region: one near, one far.
+    sim.schedule_at(60, [&] {
+        sim.schedule_after(2 * kMillisecond, [&] {
+            order.push_back(2 * kMillisecond + 60);
+        });
+        sim.schedule_after(5, [&] { order.push_back(65); });
+    });
+    sim.run();
+    ASSERT_EQ(order.size(), 9u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+    EXPECT_EQ(sim.now(), 5 * kMillisecond);
+}
+
+// run_until() can park the queue's cursor at an event far in the
+// future; events scheduled afterwards for an earlier instant must still
+// fire first, tie-broken by scheduling order.
+TEST(Simulator, EarlierSchedulesAfterRunUntilStillFireFirst) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(50 * kMicrosecond, [&] { order.push_back(3); });
+    sim.run_until(10);
+    EXPECT_EQ(sim.now(), 10u);
+    sim.schedule_at(20, [&] { order.push_back(1); });
+    sim.schedule_at(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SmallActionsStayInlineLargeOnesAreBoxed) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_at(1, [&fired] { ++fired; });
+    sim.run();
+    EXPECT_EQ(sim.actions_heap_allocated(), 0u);
+    std::array<std::byte, 64> big{};  // over the 48-byte inline buffer
+    sim.schedule_at(2, [big, &fired] {
+        fired += static_cast<int>(big[0] == std::byte{0});
+    });
+    sim.run();
+    EXPECT_EQ(sim.actions_heap_allocated(), 1u);
+    EXPECT_EQ(fired, 2);
+}
+
+// ------------------------------------------------------- timers & pool
+
+TEST(Host, CancelledTimerReclaimsItsTombstoneEarly) {
+    Network net;
+    auto topo = make_star_l2(net, 2);
+    net.install_routes();
+    Host& host = *topo.hosts[0];
+    int fired = 0;
+    auto cancelled = host.timer_after(1000, [&] { ++fired; });
+    auto kept = host.timer_after(1000, [&] { ++fired; });
+    cancelled->cancel();
+    // The callback (and its captures) died at cancel time, not at the
+    // original fire time.
+    EXPECT_EQ(host.timer_tombstones_reclaimed(), 1u);
+    // Dropping the last handle reclaims too.
+    host.timer_after(2000, [&] { ++fired; });
+    EXPECT_EQ(host.timer_tombstones_reclaimed(), 2u);
+    net.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(host.timer_tombstones_reclaimed(), 2u);
+}
+
+TEST(FrameBuf, PoolReusesSlabsAndCopiesOnWrite) {
+    FrameBuf::trim_pool();
+    const auto s0 = FrameBuf::pool_stats();
+    { const FrameBuf a = FrameBuf::allocate(100); }
+    const auto s1 = FrameBuf::pool_stats();
+    EXPECT_EQ(s1.slab_allocs, s0.slab_allocs + 1);
+    EXPECT_EQ(s1.free_slabs, s0.free_slabs + 1);
+
+    FrameBuf b = FrameBuf::copy_of(as_bytes("hello"));
+    const auto s2 = FrameBuf::pool_stats();
+    EXPECT_EQ(s2.reuses, s1.reuses + 1);
+
+    FrameBuf c = b;  // refcount bump, not a copy
+    EXPECT_FALSE(b.unique());
+    c.mutable_bytes()[0] = std::byte{'H'};  // copy-on-write
+    EXPECT_TRUE(c.unique());
+    EXPECT_EQ(static_cast<char>(b.bytes()[0]), 'h');
+    EXPECT_EQ(static_cast<char>(c.bytes()[0]), 'H');
+    EXPECT_EQ(FrameBuf::pool_stats().cow_copies, s2.cow_copies + 1);
+}
+
+TEST(FrameBuf, OversizeAllocationsBypassThePool) {
+    const auto s0 = FrameBuf::pool_stats();
+    {
+        const FrameBuf big = FrameBuf::allocate(FrameBuf::kSlabCapacity + 1);
+        EXPECT_EQ(big.size(), FrameBuf::kSlabCapacity + 1);
+    }
+    const auto s1 = FrameBuf::pool_stats();
+    EXPECT_EQ(s1.oversize_allocs, s0.oversize_allocs + 1);
+    EXPECT_EQ(s1.free_slabs, s0.free_slabs);  // freed, never pooled
+}
+
+// --------------------------------------------------------- determinism
+
+struct LossyRunOutcome {
+    std::uint64_t signature;
+    std::uint64_t events;
+    SimTime final_time;
+
+    bool operator==(const LossyRunOutcome&) const = default;
+};
+
+// A lossy leaf-spine fabric with ping-pong traffic and a timer mix:
+// every delivery (who, from whom, payload head, when) folds into one
+// FNV signature, so any divergence in event order shows up.
+LossyRunOutcome run_lossy_leaf_spine() {
+    Network net{1234};
+    LinkParams params;
+    params.loss_probability = 0.02;
+    auto topo = make_leaf_spine_l2(net, 4, 2, 4, params);
+    net.install_routes();
+
+    std::uint64_t sig = 0xcbf29ce484222325ULL;
+    const auto fold = [&sig](std::uint64_t v) {
+        sig = (sig ^ v) * 0x100000001b3ULL;
+    };
+    const std::size_t n = topo.hosts.size();
+    for (std::size_t h = 0; h < n; ++h) {
+        topo.hosts[h]->udp_bind(
+            7000, [&, h](HostAddr src, std::uint16_t, auto payload) {
+                fold(h);
+                fold(src);
+                fold(std::to_integer<std::uint64_t>(payload[0]));
+                fold(net.simulator().now());
+                if (payload.size() > 1) {  // echo back, one byte shorter
+                    const std::vector<std::byte> next(payload.begin(),
+                                                      payload.end() - 1);
+                    topo.hosts[h]->udp_send(src, 7000, 7000, next);
+                }
+            });
+    }
+    std::vector<TimerRef> timers;
+    for (std::size_t h = 0; h < n; ++h) {
+        const std::vector<std::byte> payload(
+            8, std::byte{static_cast<unsigned char>(h)});
+        net.simulator().schedule_at(10 + h * 137, [&topo, h, n, payload] {
+            topo.hosts[h]->udp_send(topo.hosts[(h + 1) % n]->addr(), 7000,
+                                    7000, payload);
+        });
+        // A live timer injecting late traffic, and a cancelled one whose
+        // tombstone must not disturb the schedule.
+        timers.push_back(topo.hosts[h]->timer_after(
+            30 * kMicrosecond + h, [&topo, h, n, payload] {
+                topo.hosts[h]->udp_send(topo.hosts[(h + 2) % n]->addr(), 7000,
+                                        7000, payload);
+            }));
+        auto doomed = topo.hosts[h]->timer_after(90 * kMicrosecond, [] {});
+        doomed->cancel();
+    }
+    net.run();
+    fold(net.simulator().now());
+    return {sig, net.simulator().events_executed(), net.simulator().now()};
+}
+
+TEST(Determinism, IdenticalSeedsReproduceBitExactly) {
+    const LossyRunOutcome first = run_lossy_leaf_spine();
+    const LossyRunOutcome second = run_lossy_leaf_spine();
+    EXPECT_GT(first.events, 100u);  // the workload actually ran
+    EXPECT_EQ(first, second);
+}
+
+// The compat shim restores the pre-fast-path queue and allocation
+// patterns; it must be a pure cost model — same seed, same schedule,
+// same bytes. This is the oracle bench_sim_throughput leans on.
+TEST(Determinism, CompatAndFastSchedulesMatch) {
+    struct FlagGuard {
+        ~FlagGuard() { set_fastpath_compat(false); }
+    } guard;
+    const LossyRunOutcome fast = run_lossy_leaf_spine();
+    set_fastpath_compat(true);
+    const LossyRunOutcome compat = run_lossy_leaf_spine();
+    EXPECT_EQ(fast, compat);
+}
+
 }  // namespace
 }  // namespace daiet::sim

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "netsim/simulator.hpp"
+#include "trace/metrics.hpp"
 
 namespace daiet::bench {
 
@@ -114,6 +115,13 @@ public:
                 body += records[i].serialize();
             }
             body += "]";
+        }
+        // Splice in the process-wide metrics registry when anything
+        // published into it: every BENCH_*.json then carries the run's
+        // counters and latency distributions alongside the bench's own
+        // numbers, at zero per-bench plumbing.
+        if (!trace::metrics().empty()) {
+            body += ", \"metrics\": " + trace::metrics().to_json();
         }
         out << body << "}\n";
     }

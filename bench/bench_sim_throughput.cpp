@@ -13,6 +13,10 @@
 //   * fast — the fast path; each child runs the workload twice (cold
 //     pool, then warm pool) so the steady-state allocation gates see a
 //     warmed free list.
+//   * traced — the fast path with the trace/ ring flight recorder live
+//     (one child at the end): tracks what recording every hop costs.
+//     The fast trials run with tracing disabled, so the disabled-hook
+//     cost is priced into the speedup gate itself.
 //
 // Fresh processes keep one mode's heap churn from contaminating the
 // other's measurement, and the speedup gate compares each mode's best
@@ -52,6 +56,7 @@
 #include "common/framebuf.hpp"
 #include "kvcache/service.hpp"
 #include "runtime/job_driver.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -482,13 +487,20 @@ int main() {
     // child runs it twice — cold pool, then warm pool — so the
     // steady-state allocation gates see a warmed free list.
     if (const char* mode = std::getenv("DAIET_BENCH_CHILD")) {
-        const bool compat = std::string_view{mode} == "compat";
+        const std::string_view m{mode};
+        const bool compat = m == "compat";
+        const bool traced = m == "traced";
         set_fastpath_compat(compat);
+        // A traced child measures the fast path with the ring flight
+        // recorder live: every hop records a span into a fixed buffer.
+        // The plain fast children run with tracing disabled — they are
+        // the "hooks must be invisible when off" measurement.
+        if (traced) trace::tracer().enable_ring(std::size_t{1} << 16);
         const RunResult r1 = run_workload(s);
-        print_result(compat ? "compat" : "fast", r1);
+        print_result(compat ? "compat" : (traced ? "traced" : "fast"), r1);
         if (!compat) {
             const RunResult r2 = run_workload(s);
-            print_result("fast-warm", r2);
+            print_result(traced ? "traced-warm" : "fast-warm", r2);
         }
         return 0;
     }
@@ -533,6 +545,10 @@ int main() {
     healthy &= run_child("fast", "", trials);
     healthy &= run_child("compat", "#2", trials);
     healthy &= run_child("fast", "#2", trials);
+    // One traced trial: the fast path with the ring flight recorder
+    // live, so the cost of tracing when it is ON is a tracked number
+    // (the fast trials above already price the hooks when OFF).
+    healthy &= run_child("traced", "", trials);
     if (trials.empty()) {
         std::puts("FAIL: no trials completed");
         return 1;
@@ -564,11 +580,13 @@ int main() {
             .integer("echo_messages", r.echo_messages);
     }
 
-    double compat_eps = 0, fast_eps = 0;
+    double compat_eps = 0, fast_eps = 0, traced_eps = 0;
     const RunResult* warm = nullptr;
     for (const Trial& t : trials) {
         if (t.label.rfind("compat", 0) == 0) {
             compat_eps = std::max(compat_eps, t.r.events_per_sec);
+        } else if (t.label.rfind("traced", 0) == 0) {
+            traced_eps = std::max(traced_eps, t.r.events_per_sec);
         } else {
             fast_eps = std::max(fast_eps, t.r.events_per_sec);
         }
@@ -578,6 +596,22 @@ int main() {
     std::printf("\nspeedup: %.2fx (gate: >= %.1fx)\n", speedup, threshold);
     if (speedup < threshold) {
         std::puts("FAIL: fast path did not clear the speedup gate");
+        healthy = false;
+    }
+
+    // Tracing cost, both sides. Hooks-off: the fast trials run with
+    // tracing disabled, so the hook branches are priced into the
+    // speedup gate above — a hook regression shows up as a speedup
+    // regression. Recorder-on: the ring-traced trial must keep most of
+    // the fast path's headroom (every hop records a 40-byte span).
+    const double traced_overhead =
+        fast_eps > 0 ? 1.0 - traced_eps / fast_eps : 1.0;
+    std::printf("ring-traced fast path: %.1f%% overhead vs untraced "
+                "(gate: <= 50%%)\n",
+                100.0 * traced_overhead);
+    if (traced_eps < 0.5 * fast_eps) {
+        std::puts("FAIL: ring tracing cost the fast path more than half "
+                  "its throughput");
         healthy = false;
     }
 
@@ -648,6 +682,8 @@ int main() {
         .number("speedup", speedup)
         .number("compat_events_per_sec", compat_eps)
         .number("fast_events_per_sec", fast_eps)
+        .number("traced_events_per_sec", traced_eps)
+        .number("tracing_ring_overhead_pct", 100.0 * traced_overhead)
         .integer("deterministic", deterministic ? 1 : 0)
         .integer("warm_frame_heap_allocs",
                  warm != nullptr ? warm->frame_heap_allocs : 0)

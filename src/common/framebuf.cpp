@@ -38,6 +38,7 @@ FrameBuf FrameBuf::allocate(std::size_t size) {
         g_pool.free_head = slab->next_free;
         slab->refs = 1;
         slab->next_free = nullptr;
+        slab->trace_id = 0;  // reused slab must not leak the old frame's id
         ++g_pool.stats.reuses;
         --g_pool.stats.free_slabs;
     } else {
@@ -72,6 +73,7 @@ void FrameBuf::init_deep_copy(const FrameBuf& other) noexcept {
     // Pre-fast-path cost model: copies were deep.
     slab_ = nullptr;
     *this = copy_of(other.bytes());
+    if (slab_ != nullptr) slab_->trace_id = other.trace_id();
 }
 
 FrameBuf& FrameBuf::operator=(const FrameBuf& other) noexcept {
@@ -87,6 +89,7 @@ std::span<std::byte> FrameBuf::mutable_bytes() {
     if (slab_ == nullptr) return {};
     if (slab_->refs > 1) {
         FrameBuf clone = copy_of(bytes());
+        clone.slab_->trace_id = slab_->trace_id;
         ++g_pool.stats.cow_copies;
         release();
         slab_ = clone.slab_;

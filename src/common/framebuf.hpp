@@ -117,6 +117,17 @@ public:
     /// True when no other FrameBuf shares the underlying slab.
     bool unique() const noexcept { return slab_ == nullptr || slab_->refs == 1; }
 
+    /// Causal trace id (trace/trace.hpp) riding in the slab header's
+    /// spare bytes: every handle sharing the slab sees the same id, so
+    /// propagation across link queues, fan-out copies and closure
+    /// captures is the refcount bump itself. 0 = untraced. allocate()
+    /// zeroes it (slab reuse must not leak ids across frames); the CoW
+    /// clone and the compat deep copy both preserve it.
+    std::uint64_t trace_id() const noexcept { return slab_ ? slab_->trace_id : 0; }
+    void set_trace_id(std::uint64_t id) noexcept {
+        if (slab_ != nullptr) slab_->trace_id = id;
+    }
+
     /// Pool counters for this thread.
     static FramePoolStats pool_stats() noexcept;
     /// Release every slab parked in this thread's free list (tests).
@@ -129,6 +140,7 @@ private:
         std::uint32_t capacity{0};
         bool pooled{false};  ///< recycle through the free list on release
         Slab* next_free{nullptr};
+        std::uint64_t trace_id{0};  ///< shared causal id, see trace_id()
         // payload bytes trail the header
     };
 

@@ -1,19 +1,48 @@
 // Minimal leveled logger. Experiments print their results through the
 // table helpers; the logger is for diagnostics only and is silent at the
 // default level so benchmark output stays machine-parsable.
+//
+// The level defaults to warn and can be raised/lowered without a
+// rebuild via DAIET_LOG_LEVEL (error|warn|info|debug or 0-3), parsed
+// once on first use. When tracing is enabled (trace/trace.hpp), every
+// warning and error is additionally recorded into the trace flight
+// recorder as an instant event, so an exported trace carries the
+// diagnostics that fired during the run.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string_view>
 #include <utility>
 
 namespace daiet {
 
+// Declared here (defined in trace/trace.cpp) so routing a warning into
+// the trace costs one extern-bool read and common/ never includes
+// trace/ headers.
+namespace trace {
+namespace detail {
+extern bool g_trace_enabled;
+}  // namespace detail
+void log_instant(int level, std::string_view message);
+}  // namespace trace
+
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
 namespace detail {
+inline LogLevel log_level_from_env() noexcept {
+    const char* env = std::getenv("DAIET_LOG_LEVEL");
+    if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0 || std::strcmp(env, "0") == 0) return LogLevel::kError;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "1") == 0) return LogLevel::kWarn;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0) return LogLevel::kInfo;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "3") == 0) return LogLevel::kDebug;
+    return LogLevel::kWarn;
+}
+
 inline LogLevel& log_level_ref() noexcept {
-    static LogLevel level = LogLevel::kWarn;
+    static LogLevel level = log_level_from_env();
     return level;
 }
 }  // namespace detail
@@ -23,18 +52,26 @@ inline LogLevel log_level() noexcept { return detail::log_level_ref(); }
 
 template <typename... Args>
 void log(LogLevel level, const char* fmt, Args&&... args) {
-    if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+    const bool print = static_cast<int>(level) <= static_cast<int>(log_level());
+    const bool record = trace::detail::g_trace_enabled &&
+                        static_cast<int>(level) <= static_cast<int>(LogLevel::kWarn);
+    if (!print && !record) return;
     constexpr const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
-    std::fprintf(stderr, "[daiet %s] ", names[static_cast<int>(level)]);
+    char buf[512];
     if constexpr (sizeof...(Args) == 0) {
-        std::fputs(fmt, stderr);
+        std::snprintf(buf, sizeof buf, "%s", fmt);
     } else {
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wformat-security"
-        std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+        std::snprintf(buf, sizeof buf, fmt, std::forward<Args>(args)...);
 #pragma GCC diagnostic pop
     }
-    std::fputc('\n', stderr);
+    if (print) {
+        std::fprintf(stderr, "[daiet %s] %s\n", names[static_cast<int>(level)], buf);
+    }
+    if (record) {
+        trace::log_instant(static_cast<int>(level), buf);
+    }
 }
 
 template <typename... Args>

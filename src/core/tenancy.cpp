@@ -7,6 +7,7 @@
 #include "common/bytes.hpp"
 #include "common/contracts.hpp"
 #include "common/framebuf.hpp"  // fastpath_compat()
+#include "trace/trace.hpp"
 
 namespace daiet {
 
@@ -122,6 +123,15 @@ void dispatch(dp::PacketContext& ctx, const FabricRouter& router,
          claim_filter->hit(frame->udp->src_port))) {
         for (const auto& tenant : tenants) {
             if (!tenant->claims(*frame, payload)) continue;
+            if (trace::enabled()) {
+                auto& t = trace::tracer();
+                // The claiming tenant doubles as the location: the mux
+                // has no node handle here, and "kvcache@7" names the
+                // chip more usefully than the mux wrapper would.
+                const std::uint32_t name_id = t.intern(tenant->name());
+                t.record({t.now(), ctx.packet().frame().trace_id(), name_id,
+                          0, name_id, trace::EventKind::kTenantClaim});
+            }
             if (tenant->on_claimed(ctx, *frame, payload)) return;
             break;  // claimed but declined: fall through to plain forwarding
         }

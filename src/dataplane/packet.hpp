@@ -40,6 +40,7 @@ public:
 
     std::span<const std::byte> payload() const noexcept { return payload_.bytes(); }
     FrameBuf& mutable_payload() noexcept { return payload_; }
+    const FrameBuf& frame() const noexcept { return payload_; }
     /// Writable bytes (copy-on-write if the frame is shared) — header
     /// rewrites (ECN, dst steering) go through here.
     std::span<std::byte> mutable_bytes() { return payload_.mutable_bytes(); }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "trace/trace.hpp"
 
 namespace daiet::dp {
 
@@ -35,6 +36,13 @@ void Pipeline::run_passes(PacketContext& ctx, Packet& packet,
                           std::vector<Packet>& out) {
     for (;;) {
         ctx.begin_pass();
+        if (trace::enabled()) {
+            auto& t = trace::tracer();
+            if (trace_prog_id_ == 0) trace_prog_id_ = t.intern(program_->name());
+            t.record({t.now(), packet.frame().trace_id(), trace_prog_id_,
+                      packet.meta().recirc_count, trace_prog_id_,
+                      trace::EventKind::kPipelinePass});
+        }
         program_->on_packet(ctx);
         for (std::size_t k = 0; k < static_cast<std::size_t>(OpKind::kCount_); ++k) {
             stats_.ops.by_kind[k] += ctx.pass_ops().by_kind[k];

@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "core/aggregation.hpp"
 #include "netsim/simulator.hpp"
+#include "trace/trace.hpp"
 #include "transport/request_reply.hpp"
 
 namespace daiet::dir {
@@ -140,6 +141,13 @@ bool EdgeCacheSwitchProgram::on_claimed(dp::PacketContext& ctx,
         // Miss: remember who asked, under which epoch/generation — the
         // admission ticket the reply must present to install itself.
         ++stats_.misses;
+        if (trace::enabled()) {
+            auto& t = trace::tracer();
+            if (trace_name_id_ == 0) trace_name_id_ = t.intern(name());
+            t.record({t.now(), ctx.packet().frame().trace_id(),
+                      transport::request_tag(frame.ip.src, msg.seq), 0,
+                      trace_name_id_, trace::EventKind::kEdgeMiss});
+        }
         fwd_tag_.write(ctx, slot,
                        transport::request_tag(frame.ip.src, msg.seq));
         fwd_epoch_.write(ctx, slot, epoch_.read(ctx, slot));
@@ -234,6 +242,15 @@ void EdgeCacheSwitchProgram::serve_hit(dp::PacketContext& ctx,
     auto out_frame = sim::build_udp_frame(frame.ip.dst, frame.ip.src,
                                           server_udp_port_,
                                           frame.udp->src_port, payload);
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        if (trace_name_id_ == 0) trace_name_id_ = t.intern(name());
+        // The impersonated reply continues the GET's causal chain.
+        out_frame.set_trace_id(ctx.packet().frame().trace_id());
+        t.record({t.now(), ctx.packet().frame().trace_id(),
+                  transport::request_tag(frame.ip.src, msg.seq), 0,
+                  trace_name_id_, trace::EventKind::kEdgeHit});
+    }
     dp::Packet out{std::move(out_frame)};
     out.meta().egress_port = ctx.packet().meta().ingress_port;
     ctx.emit(std::move(out));

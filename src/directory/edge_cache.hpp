@@ -159,6 +159,7 @@ private:
     dp::RegisterArray<std::uint64_t> inval_seen_; ///< replayed-INVALIDATE filter
     std::uint32_t generation_{1};
     EdgeCacheStats stats_;
+    std::uint32_t trace_name_id_{0};  ///< lazily interned name()
 };
 
 }  // namespace daiet::dir

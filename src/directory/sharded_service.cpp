@@ -8,6 +8,7 @@
 
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
+#include "trace/metrics.hpp"
 
 namespace daiet::dir {
 
@@ -222,7 +223,7 @@ void ShardedKvService::schedule_rebalances(
 
 ShardedKvRunStats ShardedKvService::collect() const {
     ShardedKvRunStats out;
-    Samples gets;
+    LogHistogram gets;
     for (const auto& client : clients_) {
         const kv::KvClient::Stats s = client->stats();
         out.gets_sent += s.gets_sent;
@@ -235,7 +236,7 @@ ShardedKvRunStats ShardedKvService::collect() const {
         out.nack_retries += s.nack_retries;
         out.retransmits += s.retransmits;
         out.abandoned += s.abandoned;
-        for (const double v : client->get_latency().values()) gets.add(v);
+        gets.merge(client->get_latency());
         for (const auto& rec : client->log()) {
             out.last_completion = std::max(out.last_completion, rec.completed);
         }
@@ -264,6 +265,29 @@ ShardedKvRunStats ShardedKvService::collect() const {
         out.edges.revocations += e.revocations;
     }
     out.control = controller_->stats();
+
+    // Publish into the process-wide metrics registry (picked up by
+    // BenchJson::write and any trace/metrics dump).
+    auto& reg = trace::metrics();
+    reg.counter("shardedkv.gets_sent", "shardedkv").set(out.gets_sent);
+    reg.counter("shardedkv.get_replies", "shardedkv").set(out.get_replies);
+    reg.counter("shardedkv.switch_hits", "shardedkv").set(out.switch_hits);
+    reg.counter("shardedkv.edge_hits", "shardedkv").set(out.edge_hits);
+    reg.counter("shardedkv.nacks", "shardedkv").set(out.nacks);
+    reg.counter("shardedkv.retransmits", "shardedkv").set(out.retransmits);
+    reg.counter("shardedkv.abandoned", "shardedkv").set(out.abandoned);
+    reg.counter("shardedkv.gets_steered", "shardedkv", "directory")
+        .set(out.directory.gets_steered);
+    reg.counter("shardedkv.puts_steered", "shardedkv", "directory")
+        .set(out.directory.puts_steered);
+    reg.counter("shardedkv.invalidations_sent", "shardedkv", "directory")
+        .set(out.directory.invalidations_sent);
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+        reg.counter("shardedkv.server_gets", "shardedkv",
+                    "shard" + std::to_string(s))
+            .set(servers_[s]->stats().gets);
+    }
+    reg.histogram("shardedkv.get_latency_ns", "shardedkv").assign(gets);
     return out;
 }
 

@@ -5,6 +5,7 @@
 #include "common/bytes.hpp"
 #include "common/contracts.hpp"
 #include "core/aggregation.hpp"
+#include "trace/trace.hpp"
 #include "transport/request_reply.hpp"
 
 namespace daiet::dir {
@@ -74,6 +75,14 @@ bool DirectorySwitchProgram::on_claimed(dp::PacketContext& ctx,
     sim::ParsedFrame steered = frame;
     steered.ip.dst = owner;
 
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        if (trace_name_id_ == 0) trace_name_id_ = t.intern(name());
+        t.record({t.now(), packet.frame().trace_id(),
+                  transport::request_tag(frame.ip.src, msg.seq), owner,
+                  trace_name_id_, trace::EventKind::kDirSteer});
+    }
+
     if (msg.op == kv::KvOp::kPut) {
         ++stats_.puts_steered;
         broadcast_invalidate(ctx, frame, msg);
@@ -99,6 +108,15 @@ void DirectorySwitchProgram::send_nack(dp::PacketContext& ctx,
     auto out_frame =
         sim::build_udp_frame(service_addr(), frame.ip.src, kDirectoryUdpPort,
                              frame.udp->src_port, payload);
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        if (trace_name_id_ == 0) trace_name_id_ = t.intern(name());
+        // The NACK continues the request's causal chain.
+        out_frame.set_trace_id(ctx.packet().frame().trace_id());
+        t.record({t.now(), ctx.packet().frame().trace_id(),
+                  transport::request_tag(frame.ip.src, msg.seq), 0,
+                  trace_name_id_, trace::EventKind::kDirNack});
+    }
     dp::Packet out{std::move(out_frame)};
     out.meta().egress_port = ctx.packet().meta().ingress_port;
     ctx.emit(std::move(out));
@@ -118,6 +136,10 @@ void DirectorySwitchProgram::broadcast_invalidate(dp::PacketContext& ctx,
         auto out_frame = sim::build_udp_frame(service_addr(), vaddr,
                                               kDirectoryUdpPort,
                                               kDirectoryUdpPort, payload);
+        if (trace::enabled()) {
+            // Invalidations are causally part of the PUT that spawned them.
+            out_frame.set_trace_id(ctx.packet().frame().trace_id());
+        }
         dp::Packet out{std::move(out_frame)};
         out.meta().egress_port = port;
         ctx.emit(std::move(out));

@@ -122,6 +122,7 @@ private:
     dp::RegisterArray<std::uint32_t> range_hits_; ///< steered per range
     std::vector<std::pair<sim::HostAddr, dp::PortId>> edges_;
     DirectoryStats stats_;
+    std::uint32_t trace_name_id_{0};  ///< lazily interned name()
 };
 
 }  // namespace daiet::dir

@@ -8,6 +8,7 @@
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "netsim/link.hpp"
+#include "trace/metrics.hpp"
 
 namespace daiet::kv {
 
@@ -154,8 +155,8 @@ void KvService::schedule(const KvWorkload& workload) {
 
 KvRunStats KvService::collect() const {
     KvRunStats out;
-    Samples gets;
-    Samples puts;
+    LogHistogram gets;
+    LogHistogram puts;
     for (const auto& client : clients_) {
         const KvClient::Stats s = client->stats();
         out.gets_sent += s.gets_sent;
@@ -168,8 +169,8 @@ KvRunStats KvService::collect() const {
         out.abandoned += s.abandoned;
         out.congestion_marks += s.congestion_marks;
         out.ecn_backoffs += s.ecn_backoffs;
-        for (const double v : client->get_latency().values()) gets.add(v);
-        for (const double v : client->put_latency().values()) puts.add(v);
+        gets.merge(client->get_latency());
+        puts.merge(client->put_latency());
     }
     out.server_gets = server_->stats().gets;
     out.server_puts = server_->stats().puts;
@@ -186,6 +187,18 @@ KvRunStats KvService::collect() const {
         out.evictions = controller_->stats().evictions;
         out.rebalances = controller_->stats().rebalances;
     }
+
+    // Publish into the process-wide metrics registry: every BENCH_*.json
+    // written after this collect() carries the run's numbers.
+    auto& reg = trace::metrics();
+    reg.counter("kv.gets_sent", "kv").set(out.gets_sent);
+    reg.counter("kv.get_replies", "kv").set(out.get_replies);
+    reg.counter("kv.switch_hits", "kv").set(out.switch_hits);
+    reg.counter("kv.retransmits", "kv").set(out.retransmits);
+    reg.counter("kv.abandoned", "kv").set(out.abandoned);
+    reg.counter("kv.server_gets", "kv", "server").set(out.server_gets);
+    reg.histogram("kv.get_latency_ns", "kv").assign(gets);
+    reg.histogram("kv.put_latency_ns", "kv").assign(puts);
     return out;
 }
 

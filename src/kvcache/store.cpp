@@ -5,6 +5,7 @@
 #include "common/contracts.hpp"
 #include "directory/protocol.hpp"
 #include "netsim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace daiet::kv {
 
@@ -51,6 +52,9 @@ void KvStoreServer::on_datagram(sim::HostAddr src, std::uint16_t src_port,
             // loop wants to throttle.
             replay.flags &= static_cast<std::uint8_t>(~kKvFlagEce);
             if (host_->rx_ecn_ce()) replay.flags |= kKvFlagEce;
+            if (trace::enabled()) {
+                trace::tracer().annotate_next_tx(transport::request_tag(src, msg.seq));
+            }
             host_->udp_send(src, config_.server_udp_port, src_port,
                             serialize_kv(replay));
             return;
@@ -98,7 +102,13 @@ void KvStoreServer::on_datagram(sim::HostAddr src, std::uint16_t src_port,
     const sim::SimTime start = std::max(sim.now(), worker_free_at_);
     worker_free_at_ = start + config_.server_service_time;
     stats_.busy_time += config_.server_service_time;
-    sim.schedule_at(worker_free_at_, [this, wire = std::move(wire), src, src_port] {
+    sim.schedule_at(worker_free_at_,
+                    [this, wire = std::move(wire), src, src_port, seq = msg.seq] {
+        // Tag the reply tx with the request it answers, so forensics can
+        // follow the chain across the server hop.
+        if (trace::enabled()) {
+            trace::tracer().annotate_next_tx(transport::request_tag(src, seq));
+        }
         host_->udp_send(src, config_.server_udp_port, src_port, wire);
     });
 }

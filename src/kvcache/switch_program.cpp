@@ -4,6 +4,7 @@
 
 #include "common/bytes.hpp"
 #include "common/contracts.hpp"
+#include "trace/trace.hpp"
 #include "transport/request_reply.hpp"
 
 namespace daiet::kv {
@@ -88,6 +89,13 @@ bool KvCacheSwitchProgram::on_claimed(dp::PacketContext& ctx,
         // access log doubles as the (exact) miss counter the
         // controller promotes from.
         ++stats_.misses;
+        if (trace::enabled()) {
+            auto& t = trace::tracer();
+            if (trace_name_id_ == 0) trace_name_id_ = t.intern(name());
+            t.record({t.now(), ctx.packet().frame().trace_id(),
+                      transport::request_tag(frame.ip.src, msg.seq), 0, trace_name_id_,
+                      trace::EventKind::kCacheMiss});
+        }
         return false;
     }
 
@@ -209,6 +217,13 @@ void KvCacheSwitchProgram::serve_hit(dp::PacketContext& ctx,
     const std::uint32_t h = hits_.read(ctx, slot);
     ctx.count_op(dp::OpKind::kAlu);
     hits_.write(ctx, slot, h + 1);
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        if (trace_name_id_ == 0) trace_name_id_ = t.intern(name());
+        t.record({t.now(), ctx.packet().frame().trace_id(),
+                  transport::request_tag(frame.ip.src, msg.seq), 0, trace_name_id_,
+                  trace::EventKind::kCacheHit});
+    }
 
     // Impersonate the server: the reply's source is the GET's original
     // destination, and it leaves through the port the GET arrived on —
@@ -227,6 +242,8 @@ void KvCacheSwitchProgram::serve_hit(dp::PacketContext& ctx,
     auto out_frame = sim::build_udp_frame(frame.ip.dst, frame.ip.src,
                                           config_.server_udp_port,
                                           frame.udp->src_port, payload);
+    // The in-network reply continues the request's causal trace.
+    if (trace::enabled()) out_frame.set_trace_id(ctx.packet().frame().trace_id());
     dp::Packet out{std::move(out_frame)};
     out.meta().egress_port = ctx.packet().meta().ingress_port;
     ctx.emit(std::move(out));

@@ -177,6 +177,8 @@ private:
     dp::RegisterArray<std::uint64_t> ack_seen_;
     /// Control-plane shadow of index_ (slot -> key) for hit_counts().
     std::vector<Key16> slot_key_;
+    /// Lazily interned trace label for this tenant (0 = not interned).
+    std::uint32_t trace_name_id_{0};
     std::vector<std::uint16_t> free_slots_;
     KvCacheStats stats_;
 };

@@ -1,6 +1,7 @@
 #include "netsim/headers.hpp"
 
 #include "common/contracts.hpp"
+#include "trace/trace.hpp"
 
 namespace daiet::sim {
 
@@ -131,6 +132,7 @@ FrameBuf build_udp_frame(HostAddr src, HostAddr dst,
     ip.serialize(w);
     udp.serialize(w);
     w.put_bytes(payload);
+    if (trace::enabled()) frame.set_trace_id(trace::tracer().next_trace_id());
     return frame;
 }
 
@@ -150,6 +152,7 @@ FrameBuf build_tcp_frame(HostAddr src, HostAddr dst, TcpHeader tcp,
     ip.serialize(w);
     tcp.serialize(w);
     w.put_bytes(payload);
+    if (trace::enabled()) frame.set_trace_id(trace::tracer().next_trace_id());
     return frame;
 }
 

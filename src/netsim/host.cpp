@@ -5,6 +5,7 @@
 #include "common/contracts.hpp"
 #include "netsim/simulator.hpp"
 #include "netsim/tcp.hpp"
+#include "trace/trace.hpp"
 
 namespace daiet::sim {
 
@@ -68,6 +69,15 @@ void Host::send_frame(FrameBuf frame) {
     DAIET_EXPECTS(port_count() >= 1);
     ++counters_.frames_tx;
     counters_.bytes_tx += frame.size();
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        t.set_now(simulator().now());
+        // take_tx_annotation: a transport send (or a server reply) may
+        // have tagged this tx with its request tag — binding tag to the
+        // frame's trace id for forensics.
+        t.record({simulator().now(), frame.trace_id(), t.take_tx_annotation(), frame.size(),
+                  t.intern(name()), trace::EventKind::kHostTx});
+    }
     transmit(0, std::move(frame));
 }
 
@@ -75,6 +85,12 @@ void Host::handle_frame(FrameBuf frame, PortId /*in_port*/) {
     ++counters_.frames_rx;
     counters_.bytes_rx += frame.size();
     counters_.last_rx_time = simulator().now();
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        t.set_now(simulator().now());
+        t.record({simulator().now(), frame.trace_id(), 0, frame.size(), t.intern(name()),
+                  trace::EventKind::kHostRx});
+    }
 
     const auto parsed = parse_frame(frame);
     if (!parsed || parsed->ip.dst != addr_) {

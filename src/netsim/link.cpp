@@ -5,6 +5,7 @@
 
 #include "netsim/headers.hpp"
 #include "netsim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace daiet::sim {
 
@@ -22,12 +23,20 @@ void Link::transmit(int from_side, FrameBuf frame) {
 
     if (params_.queue_bytes != 0 && dir.backlog_bytes + size > params_.queue_bytes) {
         ++dir.stats.frames_dropped_queue;
+        if (trace::enabled()) {
+            trace::tracer().record({sim_->now(), frame.trace_id(), dir.backlog_bytes, size,
+                                    trace_label(from_side), trace::EventKind::kLinkDropQueue});
+        }
         return;
     }
     if (params_.loss_probability > 0.0 && loss_rng_.next_bool(params_.loss_probability)) {
         // Loss is injected at enqueue time: the frame occupies no queue
         // space and never arrives (models corruption on the wire).
         ++dir.stats.frames_dropped_loss;
+        if (trace::enabled()) {
+            trace::tracer().record({sim_->now(), frame.trace_id(), 0, size,
+                                    trace_label(from_side), trace::EventKind::kLinkDropLoss});
+        }
         return;
     }
 
@@ -39,6 +48,10 @@ void Link::transmit(int from_side, FrameBuf frame) {
         dir.backlog_bytes + size > params_.ecn_threshold_bytes &&
         mark_frame_ecn_ce(frame.mutable_bytes())) {
         ++dir.stats.frames_marked_ecn;
+        if (trace::enabled()) {
+            trace::tracer().record({sim_->now(), frame.trace_id(), dir.backlog_bytes, size,
+                                    trace_label(from_side), trace::EventKind::kEcnMark});
+        }
     }
 
     const SimTime now = sim_->now();
@@ -69,12 +82,33 @@ void Link::transmit(int from_side, FrameBuf frame) {
     const PortId dst_port = peer_port(from_side);
     const SimTime arrival = done + params_.propagation_delay;
 
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        const std::uint32_t label = trace_label(from_side);
+        t.record({now, frame.trace_id(), dir.backlog_bytes, size, label,
+                  trace::EventKind::kLinkEnqueue});
+        // Delivery is deterministic once enqueued; record it now with the
+        // arrival timestamp so the per-frame closure stays untouched
+        // (consumers sort by ts).
+        t.record({arrival, frame.trace_id(), 0, size, label, trace::EventKind::kLinkDeliver});
+    }
+
     sim_->schedule_at(arrival, [d = &dir, dst_port, &dst,
                                 f = std::move(frame)]() mutable {
         d->backlog_bytes -= f.size();
         ++d->stats.frames_delivered;
         dst.handle_frame(std::move(f), dst_port);
     });
+}
+
+std::uint32_t Link::trace_label(int from_side) {
+    std::uint32_t& id = trace_dir_id_[from_side];
+    if (id == 0) {
+        const Node& from = from_side == 0 ? *a_ : *b_;
+        const Node& to = from_side == 0 ? *b_ : *a_;
+        id = trace::tracer().intern(from.name() + "->" + to.name());
+    }
+    return id;
 }
 
 void Node::transmit(PortId p, FrameBuf frame) {

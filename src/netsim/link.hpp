@@ -91,6 +91,11 @@ private:
     /// Serialization-delay memo (see transmit()).
     std::size_t ser_memo_bytes_{~std::size_t{0}};
     SimTime ser_memo_ns_{0};
+    /// Lazily interned per-direction trace labels ("a->b"); 0 = not yet
+    /// interned. Only touched while tracing is enabled.
+    std::uint32_t trace_dir_id_[2]{0, 0};
+
+    std::uint32_t trace_label(int from_side);
 };
 
 }  // namespace daiet::sim

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/hash.hpp"
+#include "netsim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace daiet::sim {
 
@@ -51,6 +53,12 @@ void PipelineSwitchNode::install_route(HostAddr dst, std::vector<PortId> ports) 
 }
 
 void PipelineSwitchNode::handle_frame(FrameBuf frame, PortId in_port) {
+    if (trace::enabled()) {
+        // Dataplane hooks (tenant dispatch, cache/directory programs)
+        // have no Simulator reference; refresh the trace clock here so
+        // their events carry this frame's arrival time.
+        trace::tracer().set_now(simulator().now());
+    }
     dp::Packet packet{std::move(frame)};
     rx_scratch_.clear();
     chip_.receive_into(std::move(packet), in_port, rx_scratch_);

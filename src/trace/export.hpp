@@ -1,0 +1,28 @@
+// Chrome-trace / Perfetto JSON exporter.
+//
+// Serializes the Tracer's recorded spans into the Trace Event Format
+// that chrome://tracing and ui.perfetto.dev load directly: every span
+// becomes an instant event on (pid = fabric location, tid = trace id),
+// so one row per traced frame shows its life across hosts, links and
+// switch programs, and process_name metadata labels each location.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace daiet::trace {
+
+struct SpanEvent;
+
+/// JSON document for the given events (names resolved via the Tracer's
+/// intern table). Timestamps are exported in microseconds (fractional,
+/// ns precision preserved), sorted ascending as Perfetto expects.
+std::string chrome_trace_json(const std::vector<SpanEvent>& events);
+
+/// chrome_trace_json over the Tracer's current snapshot.
+std::string chrome_trace_json();
+
+/// Write the current snapshot to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace daiet::trace

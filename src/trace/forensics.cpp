@@ -1,0 +1,149 @@
+#include "trace/forensics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+
+namespace daiet::trace {
+
+namespace {
+
+void append_line(std::string& out, const SpanEvent& ev) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "  [%12.3f us] %-18s %-15s", static_cast<double>(ev.ts) / 1000.0,
+                  tracer().name_of(ev.node).c_str(), kind_name(ev.kind));
+    out += buf;
+    switch (ev.kind) {
+        case EventKind::kRequestSend:
+        case EventKind::kRetransmit:
+            std::snprintf(buf, sizeof buf, " attempt %" PRIu64, ev.b);
+            out += buf;
+            break;
+        case EventKind::kHostTx:
+        case EventKind::kHostRx:
+        case EventKind::kLinkDeliver:
+        case EventKind::kLinkDropLoss:
+            std::snprintf(buf, sizeof buf, " trace %" PRIu64 ", %" PRIu64 " B", ev.trace, ev.b);
+            out += buf;
+            break;
+        case EventKind::kLinkEnqueue:
+        case EventKind::kLinkDropQueue:
+        case EventKind::kEcnMark:
+            std::snprintf(buf, sizeof buf, " trace %" PRIu64 ", %" PRIu64 " B, backlog %" PRIu64
+                          " B", ev.trace, ev.b, ev.a);
+            out += buf;
+            break;
+        case EventKind::kTenantClaim:
+        case EventKind::kPipelinePass:
+            out += " ";
+            out += tracer().name_of(static_cast<std::uint32_t>(ev.a));
+            break;
+        case EventKind::kDirSteer:
+            std::snprintf(buf, sizeof buf, " -> server %" PRIu64, ev.b);
+            out += buf;
+            break;
+        case EventKind::kEcnBackoff:
+            std::snprintf(buf, sizeof buf, " deferred until %.3f us",
+                          static_cast<double>(ev.b) / 1000.0);
+            out += buf;
+            break;
+        case EventKind::kAbandon:
+        case EventKind::kReplyRx:
+            std::snprintf(buf, sizeof buf, " after %" PRIu64 " attempt%s", ev.b,
+                          ev.b == 1 ? "" : "s");
+            out += buf;
+            break;
+        default:
+            break;
+    }
+    out += "\n";
+}
+
+}  // namespace
+
+Verdict investigate(const std::vector<SpanEvent>& events, std::uint32_t client_addr,
+                    std::uint32_t seq) {
+    const std::uint64_t tag = (static_cast<std::uint64_t>(client_addr) << 32) | seq;
+    Verdict v;
+
+    // Pass 1: every frame trace id bound to the tag by a tag-carrying
+    // event (each transmission and each reply is a distinct frame).
+    std::unordered_set<TraceId> ids;
+    for (const SpanEvent& ev : events) {
+        if (kind_carries_tag(ev.kind) && ev.a == tag && ev.trace != 0) {
+            ids.insert(ev.trace);
+        }
+    }
+
+    // Pass 2: everything on those frames, plus tag-only events.
+    for (const SpanEvent& ev : events) {
+        const bool by_tag = kind_carries_tag(ev.kind) && ev.a == tag;
+        const bool by_trace = ev.trace != 0 && ids.count(ev.trace) > 0;
+        if (!by_tag && !by_trace) continue;
+        v.chain.push_back(ev);
+    }
+    if (v.chain.empty()) {
+        char buf[128];
+        std::snprintf(buf, sizeof buf,
+                      "forensics: no events recorded for client %u seq %u\n", client_addr, seq);
+        v.report = buf;
+        return v;
+    }
+
+    v.found = true;
+    v.frame_traces.assign(ids.begin(), ids.end());
+    std::sort(v.frame_traces.begin(), v.frame_traces.end());
+    std::stable_sort(v.chain.begin(), v.chain.end(),
+                     [](const SpanEvent& x, const SpanEvent& y) { return x.ts < y.ts; });
+
+    for (const SpanEvent& ev : v.chain) {
+        switch (ev.kind) {
+            case EventKind::kRequestSend: ++v.transmissions; break;
+            case EventKind::kRetransmit: ++v.transmissions; ++v.retransmits; break;
+            case EventKind::kLinkDropQueue:
+            case EventKind::kLinkDropLoss: ++v.drops; break;
+            case EventKind::kEcnMark: ++v.ecn_marks; break;
+            case EventKind::kEcnBackoff: ++v.ecn_backoffs; break;
+            case EventKind::kNudge: ++v.nudges; break;
+            case EventKind::kDirNack: ++v.dir_nacks; break;
+            case EventKind::kCacheHit: ++v.cache_hits; break;
+            case EventKind::kEdgeHit: ++v.edge_hits; break;
+            case EventKind::kReplyRx: v.completed = true; break;
+            case EventKind::kAbandon: v.abandoned = true; break;
+            default: break;
+        }
+    }
+
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "forensics for client %u seq %u: %s", client_addr, seq,
+                  v.completed  ? "COMPLETED"
+                  : v.abandoned ? "ABANDONED"
+                                : "UNRESOLVED");
+    v.report = buf;
+    std::snprintf(buf, sizeof buf,
+                  " — %zu transmission%s (%zu retransmit%s), %zu drop%s, %zu ECN mark%s",
+                  v.transmissions, v.transmissions == 1 ? "" : "s", v.retransmits,
+                  v.retransmits == 1 ? "" : "s", v.drops, v.drops == 1 ? "" : "s", v.ecn_marks,
+                  v.ecn_marks == 1 ? "" : "s");
+    v.report += buf;
+    if (v.cache_hits + v.edge_hits > 0) {
+        std::snprintf(buf, sizeof buf, ", served in-network (%zu cache / %zu edge)",
+                      v.cache_hits, v.edge_hits);
+        v.report += buf;
+    }
+    if (v.dir_nacks > 0) {
+        std::snprintf(buf, sizeof buf, ", %zu directory NACK%s", v.dir_nacks,
+                      v.dir_nacks == 1 ? "" : "s");
+        v.report += buf;
+    }
+    v.report += "\n";
+    for (const SpanEvent& ev : v.chain) append_line(v.report, ev);
+    return v;
+}
+
+Verdict investigate(std::uint32_t client_addr, std::uint32_t seq) {
+    return investigate(tracer().snapshot(), client_addr, seq);
+}
+
+}  // namespace daiet::trace

@@ -1,0 +1,52 @@
+// Request forensics: reconstruct one request's full causal chain from
+// recorded span events.
+//
+// The join works in two passes over the trace. Transport-layer events
+// (req.send, cache.hit, host.tx with an annotated send, ...) carry the
+// request tag (client<<32|seq); frame-layer events (link hops, drops,
+// ECN marks) carry only the frame's trace id. Pass 1 collects every
+// trace id that any tag-carrying event binds to the request — each
+// transmission attempt and each reply is its own frame, so a request
+// usually owns several ids. Pass 2 gathers all events on those ids plus
+// the tag-only events, sorts by time, and summarizes what happened into
+// a human-readable verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace daiet::trace {
+
+struct Verdict {
+    bool found{false};      ///< any event matched the request at all
+    bool completed{false};  ///< a reply reached the client (req.reply)
+    bool abandoned{false};  ///< the transport gave up (req.abandon)
+
+    std::size_t transmissions{0};  ///< req.send + req.retransmit
+    std::size_t retransmits{0};
+    std::size_t drops{0};          ///< link.drop.* on any of the request's frames
+    std::size_t ecn_marks{0};
+    std::size_t ecn_backoffs{0};
+    std::size_t nudges{0};
+    std::size_t dir_nacks{0};
+    std::size_t cache_hits{0};
+    std::size_t edge_hits{0};
+
+    std::vector<TraceId> frame_traces;  ///< every frame id bound to the tag
+    std::vector<SpanEvent> chain;       ///< all matched events, time-sorted
+
+    std::string report;  ///< multi-line human-readable narrative
+};
+
+/// Reconstruct (client_addr, seq) from the given events; names are
+/// resolved through the Tracer's intern table.
+Verdict investigate(const std::vector<SpanEvent>& events, std::uint32_t client_addr,
+                    std::uint32_t seq);
+
+/// investigate() over the Tracer's current snapshot.
+Verdict investigate(std::uint32_t client_addr, std::uint32_t seq);
+
+}  // namespace daiet::trace

@@ -1,0 +1,139 @@
+#include "trace/metrics.hpp"
+
+#include <cstdio>
+
+namespace daiet::trace {
+
+namespace {
+
+std::string make_key(std::string_view name, std::string_view tenant, std::string_view node) {
+    std::string key;
+    key.reserve(name.size() + tenant.size() + node.size() + 2);
+    key.append(name);
+    key.push_back('\x1f');
+    key.append(tenant);
+    key.push_back('\x1f');
+    key.append(node);
+    return key;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default: out.push_back(c); break;
+        }
+    }
+    out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out += buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        std::string_view tenant,
+                                                        std::string_view node, Type type) {
+    const std::string key = make_key(name, tenant, node);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        Entry& entry = entries_[it->second];
+        entry.type = type;
+        return entry;
+    }
+    index_.emplace(key, entries_.size());
+    Entry& entry = entries_.emplace_back();
+    entry.name = name;
+    entry.tenant = tenant;
+    entry.node = node;
+    entry.type = type;
+    return entry;
+}
+
+Counter MetricsRegistry::counter(std::string_view name, std::string_view tenant,
+                                 std::string_view node) {
+    return Counter{&find_or_create(name, tenant, node, Type::kCounter).counter};
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, std::string_view tenant,
+                             std::string_view node) {
+    return Gauge{&find_or_create(name, tenant, node, Type::kGauge).gauge};
+}
+
+HistogramHandle MetricsRegistry::histogram(std::string_view name, std::string_view tenant,
+                                           std::string_view node) {
+    return HistogramHandle{&find_or_create(name, tenant, node, Type::kHistogram).hist};
+}
+
+void MetricsRegistry::clear() {
+    entries_.clear();
+    index_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+    std::string out = "[";
+    bool first = true;
+    for (const Entry& entry : entries_) {
+        if (!first) out += ", ";
+        first = false;
+        out += "{\"name\": ";
+        append_json_string(out, entry.name);
+        if (!entry.tenant.empty()) {
+            out += ", \"tenant\": ";
+            append_json_string(out, entry.tenant);
+        }
+        if (!entry.node.empty()) {
+            out += ", \"node\": ";
+            append_json_string(out, entry.node);
+        }
+        switch (entry.type) {
+            case Type::kCounter: {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(entry.counter));
+                out += ", \"type\": \"counter\", \"value\": ";
+                out += buf;
+                break;
+            }
+            case Type::kGauge:
+                out += ", \"type\": \"gauge\", \"value\": ";
+                append_number(out, entry.gauge);
+                break;
+            case Type::kHistogram: {
+                char buf[32];
+                std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(entry.hist.count()));
+                out += ", \"type\": \"histogram\", \"count\": ";
+                out += buf;
+                out += ", \"mean\": ";
+                append_number(out, entry.hist.mean());
+                out += ", \"min\": ";
+                append_number(out, entry.hist.min());
+                out += ", \"max\": ";
+                append_number(out, entry.hist.max());
+                out += ", \"p50\": ";
+                append_number(out, entry.hist.quantile(0.50));
+                out += ", \"p99\": ";
+                append_number(out, entry.hist.quantile(0.99));
+                break;
+            }
+        }
+        out += "}";
+    }
+    out += "]";
+    return out;
+}
+
+}  // namespace daiet::trace

@@ -1,0 +1,114 @@
+// Process-wide metrics registry: named Counter/Gauge/Histogram
+// instruments with per-tenant and per-node labels.
+//
+// Subsystems publish into the registry (services at collect() time, the
+// tracer itself, benches) and `BenchJson::write` appends the whole
+// registry as a "metrics" array to every BENCH_*.json when non-empty —
+// one place where an operator finds every number the run produced.
+//
+// Instruments are handles onto registry-owned storage: look one up once
+// (a map probe + possible allocation), then inc()/set()/add() are plain
+// stores. Histograms are fixed-memory LogHistograms, so a registry full
+// of latency distributions stays bounded no matter how long the run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+
+namespace daiet::trace {
+
+class MetricsRegistry;
+
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept { *value_ += n; }
+    void set(std::uint64_t v) noexcept { *value_ = v; }
+    std::uint64_t value() const noexcept { return *value_; }
+
+private:
+    friend class MetricsRegistry;
+    explicit Counter(std::uint64_t* value) noexcept : value_{value} {}
+    std::uint64_t* value_;
+};
+
+class Gauge {
+public:
+    void set(double v) noexcept { *value_ = v; }
+    double value() const noexcept { return *value_; }
+
+private:
+    friend class MetricsRegistry;
+    explicit Gauge(double* value) noexcept : value_{value} {}
+    double* value_;
+};
+
+class HistogramHandle {
+public:
+    void add(double x) noexcept { hist_->add(x); }
+    void merge(const LogHistogram& other) noexcept { hist_->merge(other); }
+    /// Replace the stored distribution (services republishing a run).
+    void assign(const LogHistogram& other) noexcept { *hist_ = other; }
+    const LogHistogram& histogram() const noexcept { return *hist_; }
+
+private:
+    friend class MetricsRegistry;
+    explicit HistogramHandle(LogHistogram* hist) noexcept : hist_{hist} {}
+    LogHistogram* hist_;
+};
+
+class MetricsRegistry {
+public:
+    enum class Type { kCounter, kGauge, kHistogram };
+
+    struct Entry {
+        std::string name;
+        std::string tenant;  ///< "" = fabric-wide
+        std::string node;    ///< "" = not node-scoped
+        Type type{Type::kCounter};
+        std::uint64_t counter{0};
+        double gauge{0.0};
+        LogHistogram hist;
+    };
+
+    static MetricsRegistry& instance();
+
+    /// Find-or-create. The (name, tenant, node) triple is the identity:
+    /// the same triple always returns a handle onto the same storage.
+    /// Re-registering under a different type rebinds the entry's type
+    /// (last writer wins) but keeps all stored values.
+    Counter counter(std::string_view name, std::string_view tenant = {},
+                    std::string_view node = {});
+    Gauge gauge(std::string_view name, std::string_view tenant = {},
+                std::string_view node = {});
+    HistogramHandle histogram(std::string_view name, std::string_view tenant = {},
+                              std::string_view node = {});
+
+    bool empty() const noexcept { return entries_.empty(); }
+    std::size_t size() const noexcept { return entries_.size(); }
+    const std::deque<Entry>& entries() const noexcept { return entries_; }
+
+    /// Drop every instrument (tests / between bench configurations).
+    void clear();
+
+    /// JSON array of every entry: counters/gauges as {.., "value": v},
+    /// histograms as {.., "count", "mean", "min", "max", "p50", "p99"}.
+    std::string to_json() const;
+
+private:
+    MetricsRegistry() = default;
+
+    Entry& find_or_create(std::string_view name, std::string_view tenant,
+                          std::string_view node, Type type);
+
+    std::deque<Entry> entries_;  // deque: handles stay valid as it grows
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+
+}  // namespace daiet::trace

@@ -1,0 +1,162 @@
+#include "trace/trace.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace daiet::trace {
+
+namespace detail {
+bool g_trace_enabled = false;
+}  // namespace detail
+
+const char* kind_name(EventKind kind) noexcept {
+    switch (kind) {
+        case EventKind::kHostTx: return "host.tx";
+        case EventKind::kHostRx: return "host.rx";
+        case EventKind::kLinkEnqueue: return "link.enqueue";
+        case EventKind::kLinkDeliver: return "link.deliver";
+        case EventKind::kLinkDropQueue: return "link.drop.queue";
+        case EventKind::kLinkDropLoss: return "link.drop.loss";
+        case EventKind::kEcnMark: return "link.ecn.mark";
+        case EventKind::kTenantClaim: return "tenant.claim";
+        case EventKind::kPipelinePass: return "pipeline.pass";
+        case EventKind::kDirSteer: return "dir.steer";
+        case EventKind::kDirNack: return "dir.nack";
+        case EventKind::kEdgeHit: return "edge.hit";
+        case EventKind::kEdgeMiss: return "edge.miss";
+        case EventKind::kCacheHit: return "cache.hit";
+        case EventKind::kCacheMiss: return "cache.miss";
+        case EventKind::kRequestSend: return "req.send";
+        case EventKind::kRetransmit: return "req.retransmit";
+        case EventKind::kEcnBackoff: return "req.ecn_backoff";
+        case EventKind::kNudge: return "req.nudge";
+        case EventKind::kAbandon: return "req.abandon";
+        case EventKind::kReplyRx: return "req.reply";
+        case EventKind::kLog: return "log";
+    }
+    return "?";
+}
+
+bool kind_carries_tag(EventKind kind) noexcept {
+    switch (kind) {
+        case EventKind::kHostTx:  // a may be 0 when the tx was unannotated
+        case EventKind::kDirSteer:
+        case EventKind::kDirNack:
+        case EventKind::kEdgeHit:
+        case EventKind::kEdgeMiss:
+        case EventKind::kCacheHit:
+        case EventKind::kCacheMiss:
+        case EventKind::kRequestSend:
+        case EventKind::kRetransmit:
+        case EventKind::kEcnBackoff:
+        case EventKind::kNudge:
+        case EventKind::kAbandon:
+        case EventKind::kReplyRx:
+            return true;
+        default:
+            return false;
+    }
+}
+
+Tracer& Tracer::instance() {
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::Tracer() {
+    intern_names_.emplace_back("?");  // id 0 = unknown
+    // Operator switch: DAIET_TRACE=full | ring[:N] | 1 enables tracing
+    // for any binary without code changes (1 == full).
+    if (const char* env = std::getenv("DAIET_TRACE")) {
+        if (std::strcmp(env, "full") == 0 || std::strcmp(env, "1") == 0) {
+            enable_full();
+        } else if (std::strncmp(env, "ring", 4) == 0) {
+            std::size_t cap = 1u << 16;
+            if (env[4] == ':') {
+                const long parsed = std::strtol(env + 5, nullptr, 10);
+                if (parsed > 0) cap = static_cast<std::size_t>(parsed);
+            }
+            enable_ring(cap);
+        }
+    }
+}
+
+void Tracer::enable_full() {
+    ring_ = false;
+    events_.clear();
+    ring_next_ = 0;
+    held_ = 0;
+    total_ = 0;
+    detail::g_trace_enabled = true;
+}
+
+void Tracer::enable_ring(std::size_t capacity) {
+    if (capacity == 0) capacity = 1;
+    ring_ = true;
+    events_.assign(capacity, SpanEvent{});
+    ring_next_ = 0;
+    held_ = 0;
+    total_ = 0;
+    detail::g_trace_enabled = true;
+}
+
+void Tracer::disable() {
+    detail::g_trace_enabled = false;
+    ring_ = false;
+    events_.clear();
+    events_.shrink_to_fit();
+    ring_next_ = 0;
+    held_ = 0;
+    total_ = 0;
+    pending_tx_tag_ = 0;
+}
+
+void Tracer::clear() {
+    if (ring_) {
+        ring_next_ = 0;
+    } else {
+        events_.clear();
+    }
+    held_ = 0;
+    total_ = 0;
+    pending_tx_tag_ = 0;
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+    std::vector<SpanEvent> out;
+    out.reserve(held_);
+    if (ring_ && held_ == events_.size()) {
+        // Full ring: oldest entry sits at ring_next_.
+        out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(ring_next_),
+                   events_.end());
+        out.insert(out.end(), events_.begin(),
+                   events_.begin() + static_cast<std::ptrdiff_t>(ring_next_));
+    } else {
+        out.insert(out.end(), events_.begin(),
+                   events_.begin() + static_cast<std::ptrdiff_t>(held_));
+    }
+    return out;
+}
+
+std::uint32_t Tracer::intern(std::string_view name) {
+    auto it = intern_ids_.find(name);
+    if (it != intern_ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(intern_names_.size());
+    intern_names_.emplace_back(name);
+    intern_ids_.emplace(intern_names_.back(), id);
+    return id;
+}
+
+const std::string& Tracer::name_of(std::uint32_t id) const {
+    if (id >= intern_names_.size()) return intern_names_.front();
+    return intern_names_[id];
+}
+
+void log_instant(int level, std::string_view message) {
+    if (!enabled()) return;
+    Tracer& t = tracer();
+    t.record(SpanEvent{t.now(), 0, t.intern(message), static_cast<std::uint64_t>(level), 0,
+                       EventKind::kLog});
+}
+
+}  // namespace daiet::trace

@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "netsim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace daiet::transport {
 
@@ -72,6 +73,17 @@ void RetryChannel::transmit(std::uint32_t seq, Request& request) {
     if (request.attempts > 1) ++stats_.retransmits;
     request.deferred = false;  // each transmission earns one deferral
     request.last_sent = host_->simulator().now();
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        const std::uint64_t tag = request_tag(host_->addr(), seq);
+        t.record({host_->simulator().now(), 0, tag, request.attempts,
+                  t.intern(host_->name()),
+                  request.attempts > 1 ? trace::EventKind::kRetransmit
+                                       : trace::EventKind::kRequestSend});
+        // Bind the outgoing frame's trace id to this request: the
+        // kHostTx event a few calls down consumes the annotation.
+        t.annotate_next_tx(tag);
+    }
     host_->udp_send(dst_, src_port_, dst_port_, request.payload);
     // Exponential backoff per retransmission (shift capped to keep the
     // arithmetic sane even with a pathological attempt budget).
@@ -117,6 +129,11 @@ void RetryChannel::on_timeout(std::uint32_t seq) {
         // fabric (marks arrive with every reply while a queue stands).
         ++stats_.ecn_backoffs;
         request.deferred = true;
+        if (trace::enabled()) {
+            auto& t = trace::tracer();
+            t.record({now, 0, request_tag(host_->addr(), seq), congested_until_,
+                      t.intern(host_->name()), trace::EventKind::kEcnBackoff});
+        }
         request.timer = host_->timer_after(congested_until_ - now,
                                            [this, seq] { on_timeout(seq); });
         return;
@@ -124,6 +141,11 @@ void RetryChannel::on_timeout(std::uint32_t seq) {
     if (request.attempts >= options_.max_attempts) {
         const Key16 key = request.key;
         const bool was_write = request.is_write;
+        if (trace::enabled()) {
+            auto& t = trace::tracer();
+            t.record({now, 0, request_tag(host_->addr(), seq), request.attempts,
+                      t.intern(host_->name()), trace::EventKind::kAbandon});
+        }
         requests_.erase(it);
         ++stats_.abandoned;
         // Release the barrier before notifying: a given-up write must
@@ -142,6 +164,11 @@ bool RetryChannel::nudge(std::uint32_t seq) {
     if (request.attempts >= options_.max_attempts) return false;
     if (request.timer) request.timer->cancel();
     ++stats_.nudges;
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        t.record({host_->simulator().now(), 0, request_tag(host_->addr(), seq), 0,
+                  t.intern(host_->name()), trace::EventKind::kNudge});
+    }
     transmit(seq, request);
     return true;
 }
@@ -165,6 +192,11 @@ bool RetryChannel::complete(std::uint32_t seq) {
     if (request.timer) request.timer->cancel();
     const Key16 key = request.key;
     const bool was_write = request.is_write;
+    if (trace::enabled()) {
+        auto& t = trace::tracer();
+        t.record({host_->simulator().now(), 0, request_tag(host_->addr(), seq),
+                  request.attempts, t.intern(host_->name()), trace::EventKind::kReplyRx});
+    }
     requests_.erase(it);
     ++stats_.replies;
     release(key, was_write);

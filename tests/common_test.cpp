@@ -322,6 +322,91 @@ TEST(RunningStats, MergeEqualsCombinedStream) {
     EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStats, MergeWithEmptySidesPreservesMinMax) {
+    // Pin the empty-side semantics: merging an empty other is a no-op,
+    // and merging into an empty accumulator adopts the other wholesale —
+    // neither may drag min/max toward the empty sentinel values.
+    RunningStats filled;
+    for (const double x : {3.0, -2.0, 7.0}) filled.add(x);
+
+    RunningStats a = filled;
+    a.merge(RunningStats{});
+    EXPECT_EQ(a.count(), 3U);
+    EXPECT_DOUBLE_EQ(a.min(), -2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+    EXPECT_DOUBLE_EQ(a.mean(), filled.mean());
+
+    RunningStats b;
+    b.merge(filled);
+    EXPECT_EQ(b.count(), 3U);
+    EXPECT_DOUBLE_EQ(b.min(), -2.0);
+    EXPECT_DOUBLE_EQ(b.max(), 7.0);
+    EXPECT_DOUBLE_EQ(b.mean(), filled.mean());
+
+    RunningStats c;
+    c.merge(RunningStats{});
+    EXPECT_EQ(c.count(), 0U);
+}
+
+TEST(LogHistogram, ExactCountSumMinMax) {
+    LogHistogram h;
+    EXPECT_TRUE(h.empty());
+    for (int i = 1; i <= 1000; ++i) h.add(i);
+    EXPECT_EQ(h.count(), 1000U);
+    EXPECT_DOUBLE_EQ(h.sum(), 500500.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(LogHistogram, QuantilesTrackExactWithinRelativeError) {
+    // The log-bucketed quantiles must track the exact (sorted-sample)
+    // quantiles within the documented ~1.6% relative error.
+    Rng rng{23};
+    LogHistogram h;
+    Samples exact;
+    for (int i = 0; i < 20000; ++i) {
+        // Latency-shaped: lognormal-ish spread over several octaves.
+        const double v = std::exp(rng.next_gaussian() * 1.5 + 10.0);
+        h.add(v);
+        exact.add(v);
+    }
+    for (const double q : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+        const double want = exact.percentile(q);
+        const double got = h.percentile(q);
+        EXPECT_NEAR(got, want, want * 0.02) << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), exact.min());
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), exact.max());
+}
+
+TEST(LogHistogram, MergeEqualsCombinedStream) {
+    Rng rng{31};
+    LogHistogram a;
+    LogHistogram b;
+    LogHistogram all;
+    for (int i = 0; i < 4000; ++i) {
+        const double v = std::exp(rng.next_gaussian() + 5.0);
+        (i % 2 == 0 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    // Sums differ only by float addition order.
+    EXPECT_NEAR(a.sum(), all.sum(), all.sum() * 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    EXPECT_DOUBLE_EQ(a.percentile(99.0), all.percentile(99.0));
+
+    LogHistogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), all.count());
+    EXPECT_DOUBLE_EQ(empty.min(), all.min());
+}
+
 TEST(Samples, ExactPercentiles) {
     Samples s;
     for (int i = 1; i <= 100; ++i) s.add(i);

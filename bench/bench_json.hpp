@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -159,11 +160,20 @@ public:
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start_)
                 .count();
+        // Worker-thread cap the bench ran under (DAIET_THREADS; 1 =
+        // sequential), so speed trajectories are comparable only within
+        // one parallelism level.
+        long threads = 1;
+        if (const char* env = std::getenv("DAIET_THREADS")) {
+            const long parsed = std::strtol(env, nullptr, 10);
+            if (parsed > 0) threads = parsed;
+        }
         json.root()
             .integer("events_executed", events)
             .number("wall_clock_seconds", seconds)
             .number("events_per_sec",
-                    seconds > 0 ? static_cast<double>(events) / seconds : 0.0);
+                    seconds > 0 ? static_cast<double>(events) / seconds : 0.0)
+            .integer("threads", static_cast<std::uint64_t>(threads));
     }
 
 private:

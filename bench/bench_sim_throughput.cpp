@@ -17,6 +17,16 @@
 //     (one child at the end): tracks what recording every hop costs.
 //     The fast trials run with tracing disabled, so the disabled-hook
 //     cost is priced into the speedup gate itself.
+//   * parN — the fast path under the parallel sharded simulator
+//     (netsim/parallel.hpp): the fat-tree partitioned one pod per
+//     shard, driven by N worker threads through conservative time
+//     windows. One child per thread count in {1, 2, 4} (capped by
+//     DAIET_THREADS); all parN trials must agree bit-for-bit with each
+//     other — the partition fixes the event graph, the thread count
+//     must not — and must reproduce the sequential oracle's workload
+//     outcomes (kv completions, aggregation results, echo sweep); at
+//     full scale on >= 4 hardware threads par4 must also clear 1.8x
+//     the sequential fast path.
 //
 // Fresh processes keep one mode's heap churn from contaminating the
 // other's measurement, and the speedup gate compares each mode's best
@@ -49,6 +59,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -143,14 +154,18 @@ struct RunResult {
 /// run measures the simulator, not an open-loop queue artifact.
 constexpr std::size_t kWindow = 8;
 
-RunResult run_workload(const Shape& s) {
+RunResult run_workload(const Shape& s, std::size_t threads = 0) {
     rt::ClusterOptions copts;
     copts.topology = rt::TopologyKind::kFatTree;
     copts.fat_tree_k = s.k;
     copts.num_hosts = s.hosts;
     copts.seed = 42;
     rt::ClusterRuntime rt{copts};
-    sim::Simulator& sim = rt.simulator();
+    // threads > 0: partition the fat tree one pod per shard and drive
+    // it with that many workers. All kickoffs below go through each
+    // endpoint host's own simulator — under the partition that is its
+    // shard's queue; sequentially it is the one global queue either way.
+    if (threads > 0) rt.enable_parallel(threads);
 
     // Tenant 1: the kv service. Server on host 0, clients on every
     // fourth host; the cache tenant lands on the server's edge switch.
@@ -194,15 +209,20 @@ RunResult run_workload(const Shape& s) {
             --state[ci].inflight;
             pump(ci);
         };
-        sim.schedule_at((1 + ci) * 500 * sim::kNanosecond,
-                        [&pump, ci] { pump(ci); });
+        rt.host(kopts.client_hosts[ci])
+            .simulator()
+            .schedule_at((1 + ci) * 500 * sim::kNanosecond,
+                         [&pump, ci] { pump(ci); });
     }
     // Promotion windows for the switch cache over the traffic's span.
+    // The rebalancer touches the server's store and its edge switch's
+    // cache program — both on the server host's shard.
     if (auto* ctl = svc.controller()) {
+        sim::Simulator& server_sim = rt.host(kopts.server_host).simulator();
         const sim::SimTime horizon = s.requests * 12 * sim::kMicrosecond;
         for (sim::SimTime at = 100 * sim::kMicrosecond; at <= horizon;
              at += 100 * sim::kMicrosecond) {
-            sim.schedule_at(at, [ctl] { ctl->rebalance(); });
+            server_sim.schedule_at(at, [ctl] { ctl->rebalance(); });
         }
     }
 
@@ -262,11 +282,12 @@ RunResult run_workload(const Shape& s) {
     for (std::size_t j = 0; j < echo_pairs; ++j) {
         const std::size_t self = echo_hosts[j];
         const std::size_t peer = echo_hosts[j + echo_pairs];
-        sim.schedule_at((1 + j) * 300 * sim::kNanosecond,
-                        [&rt, &echo_reply, self, peer, echo_legs] {
-                            echo_reply(rt.host(peer).addr(), kEchoPort, self,
-                                       echo_legs - 1);
-                        });
+        rt.host(self).simulator().schedule_at(
+            (1 + j) * 300 * sim::kNanosecond,
+            [&rt, &echo_reply, self, peer, echo_legs] {
+                echo_reply(rt.host(peer).addr(), kEchoPort, self,
+                           echo_legs - 1);
+            });
     }
 
     Signature sig;
@@ -304,8 +325,8 @@ RunResult run_workload(const Shape& s) {
                              : 0.0;
     out.frame_heap_allocs = (pool1.slab_allocs + pool1.oversize_allocs) -
                             (pool0.slab_allocs + pool0.oversize_allocs);
-    out.boxed_actions = sim.actions_heap_allocated();
-    out.final_time = sim.now();
+    out.boxed_actions = rt.network().actions_heap_allocated();
+    out.final_time = rt.now();
 
     // Value histories, in completion order: the determinism oracle.
     for (std::size_t ci = 0; ci < n; ++ci) {
@@ -488,6 +509,16 @@ int main() {
     // steady-state allocation gates see a warmed free list.
     if (const char* mode = std::getenv("DAIET_BENCH_CHILD")) {
         const std::string_view m{mode};
+        // A parN child runs the fast path once under the parallel
+        // sharded simulator with N worker threads.
+        if (m.rfind("par", 0) == 0) {
+            const std::size_t threads =
+                static_cast<std::size_t>(std::atoi(mode + 3));
+            set_fastpath_compat(false);
+            const RunResult r = run_workload(s, std::max<std::size_t>(threads, 1));
+            print_result(mode, r);
+            return 0;
+        }
         const bool compat = m == "compat";
         const bool traced = m == "traced";
         set_fastpath_compat(compat);
@@ -549,6 +580,20 @@ int main() {
     // live, so the cost of tracing when it is ON is a tracked number
     // (the fast trials above already price the hooks when OFF).
     healthy &= run_child("traced", "", trials);
+    // Parallel trials: one child per thread count. DAIET_THREADS caps
+    // the set (the CI smoke runs with DAIET_THREADS=2 to keep it
+    // cheap); the partition — and so the parN event graph — is the
+    // same for every N, which is exactly what the parity gate checks.
+    std::size_t max_threads = 4;
+    if (const char* env = std::getenv("DAIET_THREADS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0) max_threads = static_cast<std::size_t>(parsed);
+    }
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        if (n > max_threads) break;
+        const std::string mode = "par" + std::to_string(n);
+        healthy &= run_child(mode.c_str(), "", trials);
+    }
     if (trials.empty()) {
         std::puts("FAIL: no trials completed");
         return 1;
@@ -581,12 +626,18 @@ int main() {
     }
 
     double compat_eps = 0, fast_eps = 0, traced_eps = 0;
+    double par1_eps = 0, par4_eps = 0;
     const RunResult* warm = nullptr;
+    std::vector<const Trial*> par_trials;
     for (const Trial& t : trials) {
         if (t.label.rfind("compat", 0) == 0) {
             compat_eps = std::max(compat_eps, t.r.events_per_sec);
         } else if (t.label.rfind("traced", 0) == 0) {
             traced_eps = std::max(traced_eps, t.r.events_per_sec);
+        } else if (t.label.rfind("par", 0) == 0) {
+            par_trials.push_back(&t);
+            if (t.label == "par1") par1_eps = t.r.events_per_sec;
+            if (t.label == "par4") par4_eps = t.r.events_per_sec;
         } else {
             fast_eps = std::max(fast_eps, t.r.events_per_sec);
         }
@@ -615,16 +666,70 @@ int main() {
         healthy = false;
     }
 
+    // Parallel speedup: the 4-thread partitioned run against the
+    // sequential fast path. The gate is enforced only where the number
+    // can be honest — full scale on a machine with >= 4 hardware
+    // threads; on smaller containers (the CI smoke) the parity gates
+    // below still pin correctness and the ratio is reported untested.
+    const double par_speedup = fast_eps > 0 ? par4_eps / fast_eps : 0.0;
+    const bool par_gate_active = scale >= 1.0 && par4_eps > 0 &&
+                                 std::thread::hardware_concurrency() >= 4;
+    if (par4_eps > 0) {
+        std::printf("parallel 4-thread speedup vs sequential fast: %.2fx "
+                    "(gate >= 1.8x %s)\n",
+                    par_speedup, par_gate_active ? "active" : "informational");
+    }
+    if (par_gate_active && par_speedup < 1.8) {
+        std::puts("FAIL: the 4-thread parallel run did not clear 1.8x over "
+                  "the sequential fast path");
+        healthy = false;
+    }
+
     // Determinism: compat vs fast is the semantic oracle; repeated
-    // trials of the same mode are the repeatability oracle.
+    // trials of the same mode are the repeatability oracle. The parN
+    // trials form their own parity group — each shard-boundary delivery
+    // adds one bookkeeping event, and same-tick arrivals at a switch
+    // drain in (shard, FIFO) order rather than global schedule order,
+    // so their event counts, signatures and (through retry timing) even
+    // the final simulated time may differ from the sequential runs by
+    // construction. What must hold: every parN trial is bit-identical
+    // to every other (the thread count must never leak into the
+    // schedule — the shard plan alone fixes the event graph), and the
+    // workload-level outcomes match the sequential oracle exactly (same
+    // requests completed, same aggregation results, same echo sweep).
     const RunResult& oracle = trials.front().r;
     bool deterministic = true;
     for (const Trial& t : trials) {
+        if (t.label.rfind("par", 0) == 0) continue;
         if (t.r.signature != oracle.signature || t.r.events != oracle.events ||
             t.r.final_time != oracle.final_time) {
             std::printf("FAIL: %s diverged from the compat oracle "
                         "(signature/events/final time)\n",
                         t.label.c_str());
+            deterministic = false;
+            healthy = false;
+        }
+    }
+    for (const Trial* t : par_trials) {
+        const RunResult& par_oracle = par_trials.front()->r;
+        if (t->r.signature != par_oracle.signature ||
+            t->r.events != par_oracle.events ||
+            t->r.final_time != par_oracle.final_time) {
+            std::printf("FAIL: %s diverged from %s — the thread count "
+                        "leaked into the schedule\n",
+                        t->label.c_str(), par_trials.front()->label.c_str());
+            deterministic = false;
+            healthy = false;
+        }
+        if (t->r.kv_completed != oracle.kv_completed ||
+            t->r.kv_expected != oracle.kv_expected ||
+            t->r.agg_pairs_sent != oracle.agg_pairs_sent ||
+            t->r.agg_pairs_received != oracle.agg_pairs_received ||
+            t->r.echo_messages != oracle.echo_messages ||
+            t->r.echo_expected != oracle.echo_expected) {
+            std::printf("FAIL: %s workload outcomes diverged from the "
+                        "sequential oracle (kv/aggregation/echo)\n",
+                        t->label.c_str());
             deterministic = false;
             healthy = false;
         }
@@ -683,6 +788,10 @@ int main() {
         .number("compat_events_per_sec", compat_eps)
         .number("fast_events_per_sec", fast_eps)
         .number("traced_events_per_sec", traced_eps)
+        .number("par1_events_per_sec", par1_eps)
+        .number("par4_events_per_sec", par4_eps)
+        .number("parallel_speedup_4t", par_speedup)
+        .integer("parallel_gate_enforced", par_gate_active ? 1 : 0)
         .number("tracing_ring_overhead_pct", 100.0 * traced_overhead)
         .integer("deterministic", deterministic ? 1 : 0)
         .integer("warm_frame_heap_allocs",

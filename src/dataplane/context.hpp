@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -22,6 +23,7 @@
 #include "common/framebuf.hpp"  // fastpath_compat()
 #include "common/hash.hpp"
 #include "dataplane/packet.hpp"
+#include "netsim/headers.hpp"
 
 namespace daiet::dp {
 
@@ -74,6 +76,7 @@ public:
         packet_ = &packet;
         total_ops_ = OpCounters{};
         emitted_.clear();
+        parsed_frame_valid_ = false;
     }
 
     PacketContext(const PacketContext&) = delete;
@@ -154,6 +157,25 @@ public:
     void mark_drop() noexcept { packet_->meta().drop = true; }
     void set_egress(PortId port) noexcept { packet_->meta().egress_port = port; }
 
+    // --- parsed-header reuse (fast path) ----------------------------------
+    // The packet's headers are parsed once per pipeline entry and reused
+    // across tenants and recirculation passes (the op *charge* for the
+    // parse stages still lands on every pass — the RMT cost model is
+    // unchanged, only the host-side byte extraction is skipped). A
+    // program that rewrites headers in place must invalidate the cache.
+
+    /// The cached parse of the current packet's headers, or nullptr.
+    const sim::ParsedFrame* cached_parsed_frame() const noexcept {
+        return parsed_frame_valid_ ? &*parsed_frame_ : nullptr;
+    }
+    void cache_parsed_frame(const sim::ParsedFrame& frame) {
+        parsed_frame_ = frame;
+        parsed_frame_valid_ = true;
+    }
+    /// Call after any in-place header rewrite (e.g. the directory
+    /// tenant's IPv4 destination rewrite).
+    void invalidate_parsed_frame() noexcept { parsed_frame_valid_ = false; }
+
     // --- pipeline-internal hooks -----------------------------------------
     void begin_pass() noexcept {
         pass_ops_ = OpCounters{};
@@ -189,6 +211,9 @@ private:
     std::unordered_set<std::string> applied_tables_compat_;
     std::vector<Packet> emitted_;
     bool recirculate_requested_{false};
+    /// Parsed-header cache (fast path; see cached_parsed_frame()).
+    std::optional<sim::ParsedFrame> parsed_frame_;
+    bool parsed_frame_valid_{false};
 };
 
 }  // namespace daiet::dp

@@ -72,6 +72,9 @@ bool DirectorySwitchProgram::on_claimed(dp::PacketContext& ctx,
         sim::rewrite_frame_ipv4_dst(packet.mutable_bytes(), owner);
     DAIET_ASSERT(rewritten);  // claims() guaranteed an IPv4 frame
     ctx.count_op(dp::OpKind::kAlu);  // header rewrite
+    // The raw header bytes changed: the context's parsed-header cache
+    // must not serve the stale destination to a later pass.
+    ctx.invalidate_parsed_frame();
     sim::ParsedFrame steered = frame;
     steered.ip.dst = owner;
 

@@ -136,19 +136,25 @@ void KvService::schedule(const KvWorkload& workload) {
                   workload.num_keys >= clients_.size());
     preload(workload.num_keys);
 
-    sim::Simulator& sim = rt_->simulator();
+    // Each client's ops go on its own host's simulator (its shard under
+    // parallel simulation); the op timestamps are absolute either way.
     const std::size_t n_clients = clients_.size();
     for (std::size_t ci = 0; ci < n_clients; ++ci) {
-        schedule_client_ops(sim, *clients_[ci], workload, ci, n_clients);
+        schedule_client_ops(rt_->host(options_.client_hosts[ci]).simulator(),
+                            *clients_[ci], workload, ci, n_clients);
     }
 
     if (controller_ != nullptr && workload.rebalance_interval > 0) {
         const sim::SimTime horizon =
             workload.start + n_clients * workload.client_stagger +
             workload.requests_per_client * workload.request_interval;
+        // The rebalancer reads the server's store and pokes the cache
+        // program on the server's edge switch — both live on the server
+        // host's shard (a rack and its ToR always share one).
+        sim::Simulator& server_sim = rt_->host(options_.server_host).simulator();
         for (sim::SimTime at = workload.start + workload.rebalance_interval;
              at <= horizon; at += workload.rebalance_interval) {
-            sim.schedule_at(at, [this] { controller_->rebalance(); });
+            server_sim.schedule_at(at, [this] { controller_->rebalance(); });
         }
     }
 }

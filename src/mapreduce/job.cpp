@@ -196,8 +196,10 @@ void run_tcp_shuffle(JobResult& result, Cluster& c,
         });
     }
 
+    // Each mapper's connect kickoff goes on its own host's simulator
+    // (its shard under parallel simulation).
     for (std::size_t mi = 0; mi < m; ++mi) {
-        c.runtime->simulator().schedule_at(
+        c.mappers[mi]->simulator().schedule_at(
             static_cast<sim::SimTime>(mi) * sim::kMicrosecond, [&, mi] {
                 for (std::size_t ri = 0; ri < r; ++ri) {
                     auto& conn =

@@ -10,8 +10,15 @@
 namespace daiet::sim {
 
 Link::Link(Simulator& sim, Node& a, Node& b, LinkParams params, std::uint64_t loss_seed)
-    : sim_{&sim}, a_{&a}, b_{&b}, params_{params}, loss_rng_{loss_seed} {
+    : a_{&a}, b_{&b}, params_{params} {
     DAIET_EXPECTS(params.gbps > 0.0);
+    sim_[0] = &sim;
+    sim_[1] = &sim;
+    // Side 0 keeps the caller's seed verbatim (unidirectional loss
+    // experiments reproduce their historical drop sequences); side 1
+    // gets an independently derived stream.
+    dir_[0].loss_rng = Rng{loss_seed};
+    dir_[1].loss_rng = Rng{SplitMix64{~loss_seed}.next()};
     port_a_ = a.attach_link(this, 0);
     port_b_ = b.attach_link(this, 1);
 }
@@ -19,22 +26,23 @@ Link::Link(Simulator& sim, Node& a, Node& b, LinkParams params, std::uint64_t lo
 void Link::transmit(int from_side, FrameBuf frame) {
     DAIET_EXPECTS(from_side == 0 || from_side == 1);
     Direction& dir = dir_[from_side];
+    Simulator& sim = *sim_[from_side];
     const std::size_t size = frame.size();
 
     if (params_.queue_bytes != 0 && dir.backlog_bytes + size > params_.queue_bytes) {
         ++dir.stats.frames_dropped_queue;
         if (trace::enabled()) {
-            trace::tracer().record({sim_->now(), frame.trace_id(), dir.backlog_bytes, size,
+            trace::tracer().record({sim.now(), frame.trace_id(), dir.backlog_bytes, size,
                                     trace_label(from_side), trace::EventKind::kLinkDropQueue});
         }
         return;
     }
-    if (params_.loss_probability > 0.0 && loss_rng_.next_bool(params_.loss_probability)) {
+    if (params_.loss_probability > 0.0 && dir.loss_rng.next_bool(params_.loss_probability)) {
         // Loss is injected at enqueue time: the frame occupies no queue
         // space and never arrives (models corruption on the wire).
         ++dir.stats.frames_dropped_loss;
         if (trace::enabled()) {
-            trace::tracer().record({sim_->now(), frame.trace_id(), 0, size,
+            trace::tracer().record({sim.now(), frame.trace_id(), 0, size,
                                     trace_label(from_side), trace::EventKind::kLinkDropLoss});
         }
         return;
@@ -49,12 +57,12 @@ void Link::transmit(int from_side, FrameBuf frame) {
         mark_frame_ecn_ce(frame.mutable_bytes())) {
         ++dir.stats.frames_marked_ecn;
         if (trace::enabled()) {
-            trace::tracer().record({sim_->now(), frame.trace_id(), dir.backlog_bytes, size,
+            trace::tracer().record({sim.now(), frame.trace_id(), dir.backlog_bytes, size,
                                     trace_label(from_side), trace::EventKind::kEcnMark});
         }
     }
 
-    const SimTime now = sim_->now();
+    const SimTime now = sim.now();
     const SimTime start = std::max(now, dir.busy_until);
     // One-entry memo for the serialization delay: fabric traffic is
     // dominated by a handful of fixed frame sizes, and the memo skips a
@@ -65,11 +73,11 @@ void Link::transmit(int from_side, FrameBuf frame) {
     if (fastpath_compat()) {
         ser = transmission_time_ns(size, params_.gbps);
     } else {
-        if (size != ser_memo_bytes_) {
-            ser_memo_bytes_ = size;
-            ser_memo_ns_ = transmission_time_ns(size, params_.gbps);
+        if (size != dir.ser_memo_bytes) {
+            dir.ser_memo_bytes = size;
+            dir.ser_memo_ns = transmission_time_ns(size, params_.gbps);
         }
-        ser = ser_memo_ns_;
+        ser = dir.ser_memo_ns;
     }
     const SimTime done = start + ser;
     dir.busy_until = done;
@@ -93,12 +101,77 @@ void Link::transmit(int from_side, FrameBuf frame) {
         t.record({arrival, frame.trace_id(), 0, size, label, trace::EventKind::kLinkDeliver});
     }
 
-    sim_->schedule_at(arrival, [d = &dir, dst_port, &dst,
-                                f = std::move(frame)]() mutable {
-        d->backlog_bytes -= f.size();
-        ++d->stats.frames_delivered;
+    if (mailbox_[from_side] != nullptr) {
+        // Boundary direction: ship the frame to the peer shard through
+        // the mailbox (the parallel driver schedules the hand-off on the
+        // receiving shard at `arrival` — conservative windows guarantee
+        // that shard's clock has not reached it). Frame refcounts are
+        // deliberately non-atomic, so a slab still shared on this shard
+        // (switch fan-out) must cross by deep copy, not by reference.
+        FrameBuf shipped;
+        if (frame.unique()) {
+            shipped = std::move(frame);
+        } else {
+            const std::uint64_t tid = frame.trace_id();
+            shipped = FrameBuf::copy_of(frame.bytes());
+            shipped.set_trace_id(tid);
+        }
+        mailbox_[from_side]->push_back({arrival, &dst, dst_port, std::move(shipped)});
+        // The backlog drains sender-side at the same instant the frame
+        // lands: drop-tail and ECN read this direction's backlog here.
+        sim.schedule_at(arrival, [d = &dir, size] {
+            d->backlog_bytes -= size;
+            ++d->stats.frames_delivered;
+        });
+        return;
+    }
+
+    // Same-tick delivery batching: instead of one scheduled action per
+    // frame, park the frame in the direction's sorted FIFO and let one
+    // chained drainer dispatch per distinct arrival instant deliver
+    // everything due. Applies identically under the compat shim — this
+    // is a change to the event graph, not to the cost model, so
+    // compat/fast schedule parity is preserved by construction.
+    dir.pending.push_back({arrival, std::move(frame)});
+    if (!dir.drainer_armed) {
+        dir.drainer_armed = true;
+        sim.schedule_at(arrival, [this, from_side] { drain(from_side); });
+    }
+}
+
+void Link::drain(int from_side) {
+    Direction& dir = dir_[from_side];
+    Simulator& sim = *sim_[from_side];
+    const SimTime now = sim.now();
+    Node& dst = peer_of(from_side);
+    const PortId dst_port = peer_port(from_side);
+    // handle_frame may transmit on this very direction; same-instant
+    // arrivals it appends are picked up by this loop (indices, not
+    // iterators — the vector may reallocate underneath us).
+    while (dir.pending_head < dir.pending.size() &&
+           dir.pending[dir.pending_head].at == now) {
+        FrameBuf f = std::move(dir.pending[dir.pending_head].frame);
+        ++dir.pending_head;
+        dir.backlog_bytes -= f.size();
+        ++dir.stats.frames_delivered;
         dst.handle_frame(std::move(f), dst_port);
-    });
+    }
+    if (dir.pending_head == dir.pending.size()) {
+        dir.pending.clear();
+        dir.pending_head = 0;
+        dir.drainer_armed = false;
+        return;
+    }
+    sim.schedule_at(dir.pending[dir.pending_head].at,
+                    [this, from_side] { drain(from_side); });
+    // Compact the consumed prefix once it dominates the vector, so a
+    // long busy period cannot grow the FIFO without bound.
+    if (dir.pending_head >= 64 && dir.pending_head * 2 >= dir.pending.size()) {
+        dir.pending.erase(dir.pending.begin(),
+                          dir.pending.begin() +
+                              static_cast<std::ptrdiff_t>(dir.pending_head));
+        dir.pending_head = 0;
+    }
 }
 
 std::uint32_t Link::trace_label(int from_side) {

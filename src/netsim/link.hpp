@@ -1,5 +1,14 @@
 // Full-duplex point-to-point link with bandwidth, propagation delay,
 // a drop-tail queue and optional random loss injection.
+//
+// Parallel-sim aware: each direction is owned by the shard of its
+// *sending* node (Network::enable_parallel re-binds the per-side
+// simulators), so all of a direction's mutable state — busy clock,
+// backlog, stats, loss RNG, serialization memo, pending-delivery FIFO —
+// is touched by exactly one worker thread. Deliveries on a boundary
+// link (the two ends live on different shards) are shipped through a
+// cross-shard mailbox instead of being scheduled directly; the parallel
+// driver drains mailboxes at window barriers (netsim/parallel.hpp).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,20 @@ struct LinkDirectionStats {
     std::uint64_t frames_dropped_queue{0};
     std::uint64_t frames_dropped_loss{0};
     std::uint64_t frames_marked_ecn{0};
+};
+
+/// One frame crossing a shard boundary, stamped with the sender-side
+/// arrival instant. Mailboxes are plain vectors written by exactly one
+/// worker (the sending shard's) during a window and drained by the
+/// coordinator between barriers, in a fixed (dst shard, src shard,
+/// FIFO) order — that fixed drain order is what makes the receiving
+/// shard's sequence numbers, and hence the whole schedule,
+/// thread-count-independent.
+struct CrossFrame {
+    SimTime at{0};
+    Node* dst{nullptr};
+    PortId port{0};
+    FrameBuf frame;
 };
 
 class Link {
@@ -71,26 +94,65 @@ public:
     PortId peer_port(int side) const noexcept {
         return side == 0 ? port_b_ : port_a_;
     }
+    /// The node *at* `side` (peer_of gives the node across the wire).
+    Node& end_of(int side) noexcept { return side == 0 ? *a_ : *b_; }
+
+    /// Re-home the two directions onto their sending nodes' shard
+    /// simulators and, for a boundary link, attach the cross-shard
+    /// mailboxes (`a_to_b` carries side-0 traffic; null = same shard).
+    /// Called by Network::enable_parallel before any traffic flows.
+    void bind_parallel(Simulator& sim_a, Simulator& sim_b,
+                       std::vector<CrossFrame>* a_to_b,
+                       std::vector<CrossFrame>* b_to_a) noexcept {
+        sim_[0] = &sim_a;
+        sim_[1] = &sim_b;
+        mailbox_[0] = a_to_b;
+        mailbox_[1] = b_to_a;
+    }
 
 private:
+    /// A delivery waiting in the direction's same-tick batcher. Arrivals
+    /// are non-decreasing per direction (the busy clock chains), so the
+    /// FIFO is sorted by construction.
+    struct PendingDelivery {
+        SimTime at{0};
+        FrameBuf frame;
+    };
+
     struct Direction {
         SimTime busy_until{0};
         std::size_t backlog_bytes{0};
         std::size_t peak_backlog_bytes{0};
         LinkDirectionStats stats;
+        /// Per-direction loss stream: both directions can execute
+        /// concurrently on different shards, and a shared generator's
+        /// draw order would depend on thread interleaving.
+        Rng loss_rng{0};
+        /// Serialization-delay memo (see transmit()); per direction for
+        /// the same reason as the RNG.
+        std::size_t ser_memo_bytes{~std::size_t{0}};
+        SimTime ser_memo_ns{0};
+        /// Same-tick delivery batcher: frames in flight, drained by one
+        /// chained dispatch per distinct arrival instant.
+        std::vector<PendingDelivery> pending;
+        std::size_t pending_head{0};
+        bool drainer_armed{false};
     };
 
-    Simulator* sim_;
+    void drain(int from_side);
+
     Node* a_;
     Node* b_;
     PortId port_a_;
     PortId port_b_;
     LinkParams params_;
     Direction dir_[2];
-    Rng loss_rng_;
-    /// Serialization-delay memo (see transmit()).
-    std::size_t ser_memo_bytes_{~std::size_t{0}};
-    SimTime ser_memo_ns_{0};
+    /// Per-side scheduling clock: sim_[s] is the shard simulator of the
+    /// side-s node (both point at the Network's simulator until
+    /// bind_parallel re-homes them).
+    Simulator* sim_[2];
+    /// Boundary mailboxes; null for an intra-shard direction.
+    std::vector<CrossFrame>* mailbox_[2]{nullptr, nullptr};
     /// Lazily interned per-direction trace labels ("a->b"); 0 = not yet
     /// interned. Only touched while tracing is enabled.
     std::uint32_t trace_dir_id_[2]{0, 0};

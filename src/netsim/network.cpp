@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/contracts.hpp"
+#include "trace/trace.hpp"
 
 namespace daiet::sim {
 
@@ -43,6 +44,45 @@ Link& Network::connect(Node& a, Node& b, LinkParams params) {
     auto& ref = *link;
     links_.push_back(std::move(link));
     return ref;
+}
+
+void Network::enable_parallel(const std::vector<std::uint32_t>& shard_of_node,
+                              std::size_t threads) {
+    DAIET_EXPECTS(par_ == nullptr);
+    DAIET_EXPECTS(shard_of_node.size() == nodes_.size());
+    DAIET_EXPECTS(sim_.idle());  // partition before any traffic flows
+    std::uint32_t max_shard = 0;
+    for (const std::uint32_t s : shard_of_node) max_shard = std::max(max_shard, s);
+    const std::size_t n_shards = static_cast<std::size_t>(max_shard) + 1;
+    if (n_shards == 1 && nodes_.empty()) return;
+
+    par_ = std::make_unique<ShardedSimulator>(&sim_, n_shards, threads);
+    for (const auto& node : nodes_) {
+        node->rebind_simulator(par_->shard(shard_of_node[node->id()]));
+    }
+    // Every link direction is owned by its sender's shard; a direction
+    // whose ends straddle shards gets a mailbox, and the minimum
+    // boundary propagation delay becomes the conservative lookahead.
+    SimTime lookahead = Simulator::kNever;
+    bool any_boundary = false;
+    for (const auto& link : links_) {
+        const std::uint32_t sa = shard_of_node[link->end_of(0).id()];
+        const std::uint32_t sb = shard_of_node[link->end_of(1).id()];
+        if (sa == sb) {
+            link->bind_parallel(par_->shard(sa), par_->shard(sa), nullptr,
+                                nullptr);
+            continue;
+        }
+        any_boundary = true;
+        lookahead = std::min(lookahead, link->params().propagation_delay);
+        link->bind_parallel(par_->shard(sa), par_->shard(sb),
+                            &par_->mailbox(sa, sb), &par_->mailbox(sb, sa));
+    }
+    // A zero-latency boundary link admits no conservative window: the
+    // partition must keep such links inside one shard.
+    DAIET_EXPECTS(!any_boundary || lookahead > 0);
+    par_->set_lookahead(lookahead);
+    trace::tracer().configure_lanes(n_shards);
 }
 
 Host* Network::host_by_addr(HostAddr addr) noexcept {

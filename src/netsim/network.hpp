@@ -11,6 +11,7 @@
 #include "dataplane/pipeline_switch.hpp"
 #include "netsim/host.hpp"
 #include "netsim/link.hpp"
+#include "netsim/parallel.hpp"
 #include "netsim/simulator.hpp"
 #include "netsim/switch_node.hpp"
 
@@ -71,8 +72,45 @@ public:
     const std::vector<std::unique_ptr<Node>>& nodes() const noexcept { return nodes_; }
     const std::vector<std::unique_ptr<Link>>& links() const noexcept { return links_; }
 
+    /// Partition the fabric for parallel execution: `shard_of_node[id]`
+    /// names each node's shard (dense ids, topology-aware — the
+    /// ClusterRuntime builders keep a rack's hosts with their ToR), and
+    /// up to `threads` workers drive the shards through conservative
+    /// time windows (netsim/parallel.hpp). Call once, after the full
+    /// topology is built and before any traffic is scheduled; the
+    /// topology must not be mutated afterwards. Requires every
+    /// shard-boundary link to have a positive propagation delay — that
+    /// latency is the lookahead the windows are carved from.
+    void enable_parallel(const std::vector<std::uint32_t>& shard_of_node,
+                         std::size_t threads);
+
+    /// The parallel driver, or nullptr when enable_parallel was never
+    /// called (or collapsed to a single shard).
+    ShardedSimulator* parallel() noexcept { return par_.get(); }
+
     /// Run the simulation to quiescence.
-    SimTime run() { return sim_.run(); }
+    SimTime run() { return par_ ? par_->run() : sim_.run(); }
+
+    /// The fabric-wide clock: with a parallel partition the max over
+    /// shard clocks (bit-identical to a sequential run's final time),
+    /// otherwise the primary simulator's.
+    SimTime now() const noexcept { return par_ ? par_->now() : sim_.now(); }
+
+    /// Boxed-action count summed over every shard queue (the bench's
+    /// zero-steady-state-allocations gate).
+    std::uint64_t actions_heap_allocated() const noexcept {
+        return par_ ? par_->actions_heap_allocated()
+                    : sim_.actions_heap_allocated();
+    }
+
+    /// Executed-event count summed over every shard queue. Comparable
+    /// across thread counts of one partition (the shard count, and with
+    /// it the event graph, is fixed by the partition — not the thread
+    /// count), but not to an unpartitioned run: each shard-boundary
+    /// delivery is one extra bookkeeping event on the sender's shard.
+    std::uint64_t events_executed() const noexcept {
+        return par_ ? par_->events_executed() : sim_.events_executed();
+    }
 
 private:
     /// Adjacency entry: the local port leading to a neighbour node.
@@ -88,6 +126,7 @@ private:
                                NodeId target, HostAddr addr);
 
     Simulator sim_;
+    std::unique_ptr<ShardedSimulator> par_;
     std::uint64_t seed_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::unique_ptr<Link>> links_;

@@ -45,6 +45,12 @@ public:
     const std::string& name() const noexcept { return name_; }
     Simulator& simulator() noexcept { return *sim_; }
 
+    /// Re-home this node onto a shard's simulator (Network::
+    /// enable_parallel). Everything the node schedules afterwards —
+    /// timers, sends — lands on its shard's queue. Must be called
+    /// before any traffic flows.
+    void rebind_simulator(Simulator& sim) noexcept { sim_ = &sim; }
+
     /// Wiring (called by Network::connect): attach `link` at the next
     /// free port; returns the port number.
     PortId attach_link(Link* link, int side) {

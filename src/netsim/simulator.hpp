@@ -19,10 +19,12 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <new>
 #include <queue>
@@ -84,6 +86,16 @@ public:
     }
     std::uint64_t events_executed() const noexcept { return executed_; }
 
+    /// "No pending event" sentinel for next_event_at().
+    static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+    /// Timestamp of the earliest pending event, or kNever when idle.
+    /// The sharded driver polls this to size conservative windows.
+    SimTime next_event_at() {
+        if (idle()) return kNever;
+        return compat_ ? legacy_.top().at : fast_next_at();
+    }
+
     /// Actions too large (or not nothrow-movable) for a slot's inline
     /// buffer, boxed on the heap instead. Zero in steady state — the
     /// bench's allocation gate.
@@ -92,9 +104,21 @@ public:
     }
 
     /// Events executed by every Simulator in this process (benches stamp
-    /// sim speed from this without plumbing instances around).
+    /// sim speed from this without plumbing instances around). The
+    /// counter is kept per thread so shard workers never contend on the
+    /// hot path; workers publish their tally via flush_process_counter()
+    /// before exiting, after which the calling thread sees the total.
     static std::uint64_t process_events_executed() noexcept {
-        return process_executed_;
+        return process_flushed_.load(std::memory_order_relaxed) +
+               tl_process_executed_;
+    }
+
+    /// Fold the calling thread's event tally into the process-wide
+    /// counter. Shard workers call this once, right before joining.
+    static void flush_process_counter() noexcept {
+        process_flushed_.fetch_add(tl_process_executed_,
+                                   std::memory_order_relaxed);
+        tl_process_executed_ = 0;
     }
 
     /// Run until no events remain. Returns the final simulated time.
@@ -123,6 +147,23 @@ public:
             }
         }
         now_ = std::max(now_, deadline);
+        return now_;
+    }
+
+    /// Run every event strictly before `end`, leaving the clock on the
+    /// last executed event (NOT inflated to `end`). This is the shard
+    /// step of the conservative time-windowed parallel driver
+    /// (netsim/parallel.hpp): windows are bounded by the cross-shard
+    /// lookahead, and keeping now_ at the last real event makes the
+    /// max-over-shards final time bit-identical to a sequential run.
+    SimTime run_window(SimTime end) {
+        if (compat_) {
+            while (!legacy_.empty() && legacy_.top().at < end) step_legacy();
+        } else {
+            while (wheel_count_ + heap_.size() != 0 && fast_next_at() < end) {
+                step_fast();
+            }
+        }
         return now_;
     }
 
@@ -397,7 +438,7 @@ private:
 
         now_ = top.at;
         ++executed_;
-        ++process_executed_;
+        ++tl_process_executed_;
 
         // Invoke in place: chunked slot storage never moves a live slot,
         // so the action survives any scheduling (or nested run()) it
@@ -440,7 +481,7 @@ private:
         legacy_.pop();
         now_ = ev.at;
         ++executed_;
-        ++process_executed_;
+        ++tl_process_executed_;
         ev.action();
     }
 
@@ -460,7 +501,8 @@ private:
     std::uint64_t next_seq_{0};
     std::uint64_t executed_{0};
     std::uint64_t actions_heap_allocated_{0};
-    inline static std::uint64_t process_executed_{0};
+    inline static thread_local std::uint64_t tl_process_executed_{0};
+    inline static std::atomic<std::uint64_t> process_flushed_{0};
 };
 
 }  // namespace daiet::sim

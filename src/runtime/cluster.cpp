@@ -95,6 +95,9 @@ void ClusterRuntime::build_star() {
         net_->connect(h, *tor, options_.link);
         hosts_.push_back(&h);
     }
+    // One rack = one shard: a star has no cut with positive lookahead,
+    // so enable_parallel degrades to a plain sequential run.
+    shard_of_node_.assign(net_->nodes().size(), 0);
 }
 
 void ClusterRuntime::build_leaf_spine() {
@@ -118,6 +121,22 @@ void ClusterRuntime::build_leaf_spine() {
         auto& h = net_->add_host("h" + std::to_string(i));
         net_->connect(h, *leaves[i / hosts_per_leaf], options_.link);
         hosts_.push_back(&h);
+    }
+    // Shard plan: a leaf and its rack of hosts stay together (the
+    // host<->leaf links are the chatty ones); spines deal round-robin
+    // across the rack shards, so every shard boundary is a leaf-spine
+    // link whose propagation delay funds the lookahead.
+    shard_of_node_.assign(net_->nodes().size(), 0);
+    for (std::size_t s = 0; s < spines.size(); ++s) {
+        shard_of_node_[spines[s]->id()] =
+            static_cast<std::uint32_t>(s % options_.n_leaf);
+    }
+    for (std::size_t l = 0; l < leaves.size(); ++l) {
+        shard_of_node_[leaves[l]->id()] = static_cast<std::uint32_t>(l);
+    }
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+        shard_of_node_[hosts_[i]->id()] =
+            static_cast<std::uint32_t>(i / hosts_per_leaf);
     }
 }
 
@@ -146,6 +165,25 @@ void ClusterRuntime::build_fat_tree() {
         topo = sim::make_fat_tree_l2(*net_, k, options_.num_hosts, options_.link);
     }
     hosts_ = topo.hosts;
+    // Shard plan: one pod per shard — a pod's edges, aggs and hosts
+    // interconnect densely and stay together; core switches deal
+    // round-robin across the pod shards. Every boundary is an agg<->core
+    // link, whose propagation delay funds the lookahead.
+    const std::size_t half = k / 2;
+    shard_of_node_.assign(net_->nodes().size(), 0);
+    for (std::size_t c = 0; c < topo.cores.size(); ++c) {
+        shard_of_node_[topo.cores[c]->id()] = static_cast<std::uint32_t>(c % k);
+    }
+    for (std::size_t a = 0; a < topo.aggs.size(); ++a) {
+        shard_of_node_[topo.aggs[a]->id()] = static_cast<std::uint32_t>(a / half);
+    }
+    for (std::size_t e = 0; e < topo.edges.size(); ++e) {
+        shard_of_node_[topo.edges[e]->id()] = static_cast<std::uint32_t>(e / half);
+    }
+    for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+        shard_of_node_[topo.hosts[i]->id()] = static_cast<std::uint32_t>(
+            (i % topo.edges.size()) / half);
+    }
 }
 
 ClusterRuntime::ClusterRuntime(ClusterOptions options)

@@ -128,11 +128,29 @@ public:
     /// programmable).
     TenantProgram* tenant_at(sim::NodeId node, std::string_view name) const;
 
+    /// Partition the fabric across worker threads (conservative
+    /// time-windowed parallel simulation, netsim/parallel.hpp). The
+    /// shard plan is topology-aware and fixed by the builders — star:
+    /// one shard; leaf-spine: a leaf plus its rack of hosts per shard,
+    /// spines dealt round-robin; fat-tree: a pod (edges + aggs + its
+    /// hosts) per shard, cores dealt round-robin — so the partition,
+    /// and with it the schedule, never depends on the thread count.
+    /// Call before scheduling any traffic; afterwards, schedule through
+    /// each host's own simulator (`host(i).simulator()`), not through
+    /// simulator(), which is only shard 0.
+    void enable_parallel(std::size_t threads) {
+        net_->enable_parallel(shard_of_node_, threads);
+    }
+    /// The topology-derived shard id per node (tests/diagnostics).
+    const std::vector<std::uint32_t>& shard_plan() const noexcept {
+        return shard_of_node_;
+    }
+
     sim::SimTime run() { return net_->run(); }
     sim::SimTime run_until(sim::SimTime deadline) {
         return simulator().run_until(deadline);
     }
-    sim::SimTime now() const noexcept { return net_->simulator().now(); }
+    sim::SimTime now() const noexcept { return net_->now(); }
 
     // --- fabric-wide observability -----------------------------------------
     std::uint64_t total_recirculations() const;
@@ -164,6 +182,7 @@ private:
 
     ClusterOptions options_;
     std::unique_ptr<sim::Network> net_;
+    std::vector<std::uint32_t> shard_of_node_;  ///< filled by the builders
     std::vector<sim::Host*> hosts_;
     std::vector<sim::PipelineSwitchNode*> daiet_switches_;
     std::vector<Site> sites_;

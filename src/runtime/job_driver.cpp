@@ -106,17 +106,23 @@ void JobDriver::schedule_sends(const ProduceFn& produce) {
             work[it->second].sends.emplace_back(g, mi);
         }
     }
+    // Kickoffs go through each sending host's own simulator (its shard
+    // under parallel simulation — scheduling cross-shard would race);
+    // the stagger offsets from the fabric-wide clock so the schedule is
+    // the same one the sequential run produces.
+    send_slots_.assign(work.size(), SendSlot{});
+    const sim::SimTime base = rt_->now();
     for (std::size_t hi = 0; hi < work.size(); ++hi) {
-        rt_->simulator().schedule_after(
-            static_cast<sim::SimTime>(hi) * options_.sender_stagger,
-            [this, produce, item = work[hi]] {
+        work[hi].host->simulator().schedule_at(
+            base + static_cast<sim::SimTime>(hi) * options_.sender_stagger,
+            [this, produce, hi, item = work[hi]] {
                 for (const auto& [g, mi] : item.sends) {
                     MapperSender tx{*item.host, rt_->options().config, trees_[g],
                                     spec_.groups[g].reducer->addr()};
                     produce(g, mi, tx);
                     tx.finish();
-                    sent_pairs_ += tx.stats().pairs_sent;
-                    sent_packets_ += tx.stats().data_packets_sent;
+                    send_slots_[hi].pairs += tx.stats().pairs_sent;
+                    send_slots_[hi].packets += tx.stats().data_packets_sent;
                 }
             });
     }
@@ -157,8 +163,7 @@ void JobDriver::restart(Receivers& receivers) {
         receivers[g]->reset(expected_ends_[g]);
     }
     ++attempts_this_round_;
-    sent_pairs_ = 0;
-    sent_packets_ = 0;
+    send_slots_.clear();
 }
 
 RoundStats JobDriver::collect(Receivers& receivers, const ConsumeFn& consume) {
@@ -167,8 +172,10 @@ RoundStats JobDriver::collect(Receivers& receivers, const ConsumeFn& consume) {
     rs.attempts = attempts_this_round_;
     rs.started = round_started_;
     rs.finished = rt_->now();
-    rs.pairs_sent = sent_pairs_;
-    rs.data_packets_sent = sent_packets_;
+    for (const SendSlot& slot : send_slots_) {
+        rs.pairs_sent += slot.pairs;
+        rs.data_packets_sent += slot.packets;
+    }
     for (const auto& rx : receivers) {
         rs.pairs_received += rx->stats().pairs_received;
         rs.data_packets_received += rx->stats().data_packets_received;
@@ -182,8 +189,7 @@ RoundStats JobDriver::collect(Receivers& receivers, const ConsumeFn& consume) {
     history_.push_back(rs);
     ++round_;
     attempts_this_round_ = 1;
-    sent_pairs_ = 0;
-    sent_packets_ = 0;
+    send_slots_.clear();
     return rs;
 }
 

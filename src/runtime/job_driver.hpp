@@ -137,8 +137,15 @@ private:
     std::vector<std::uint32_t> expected_ends_;
     std::size_t round_{0};
     std::size_t attempts_this_round_{1};
-    std::uint64_t sent_pairs_{0};
-    std::uint64_t sent_packets_{0};
+    /// Per-sending-host accumulators for the in-flight round. Under
+    /// parallel simulation each send closure runs on its host's shard
+    /// thread, so every host writes its own cache-line-sized slot and
+    /// collect() sums them after the run has quiesced.
+    struct alignas(64) SendSlot {
+        std::uint64_t pairs{0};
+        std::uint64_t packets{0};
+    };
+    std::vector<SendSlot> send_slots_;
     sim::SimTime round_started_{0};
     std::vector<RoundStats> history_;
 };

@@ -589,5 +589,188 @@ TEST(Determinism, CompatAndFastSchedulesMatch) {
     EXPECT_EQ(fast, compat);
 }
 
+// ------------------------------------------------- parallel simulation
+
+// The same lossy leaf-spine replay, partitioned rack-per-shard. The
+// signature folds per host (one host's deliveries execute on one shard
+// in a deterministic order; a fabric-global fold order would depend on
+// the thread interleaving) and the per-host signatures combine in host
+// order after the run.
+LossyRunOutcome run_lossy_leaf_spine_parallel(std::size_t threads,
+                                              bool partition = true) {
+    constexpr std::size_t kLeaves = 4;
+    constexpr std::size_t kSpines = 2;
+    constexpr std::size_t kHostsPerLeaf = 4;
+    Network net{1234};
+    LinkParams params;
+    params.loss_probability = 0.02;
+    auto topo = make_leaf_spine_l2(net, kLeaves, kSpines, kHostsPerLeaf, params);
+    net.install_routes();
+
+    if (partition) {
+        // The ClusterRuntime plan: a leaf plus its rack of hosts per
+        // shard, spines dealt round-robin across the rack shards.
+        std::vector<std::uint32_t> shard_of(net.nodes().size(), 0);
+        for (std::size_t s = 0; s < topo.spines.size(); ++s) {
+            shard_of[topo.spines[s]->id()] =
+                static_cast<std::uint32_t>(s % kLeaves);
+        }
+        for (std::size_t l = 0; l < topo.leaves.size(); ++l) {
+            shard_of[topo.leaves[l]->id()] = static_cast<std::uint32_t>(l);
+        }
+        for (std::size_t h = 0; h < topo.hosts.size(); ++h) {
+            shard_of[topo.hosts[h]->id()] =
+                static_cast<std::uint32_t>(h / kHostsPerLeaf);
+        }
+        net.enable_parallel(shard_of, threads);
+    }
+
+    const std::size_t n = topo.hosts.size();
+    std::vector<std::uint64_t> host_sig(n, 0xcbf29ce484222325ULL);
+    const auto fold = [](std::uint64_t& sig, std::uint64_t v) {
+        sig = (sig ^ v) * 0x100000001b3ULL;
+    };
+    for (std::size_t h = 0; h < n; ++h) {
+        topo.hosts[h]->udp_bind(
+            7000, [&, h](HostAddr src, std::uint16_t, auto payload) {
+                fold(host_sig[h], src);
+                fold(host_sig[h], std::to_integer<std::uint64_t>(payload[0]));
+                fold(host_sig[h], topo.hosts[h]->simulator().now());
+                if (payload.size() > 1) {
+                    const std::vector<std::byte> next(payload.begin(),
+                                                      payload.end() - 1);
+                    topo.hosts[h]->udp_send(src, 7000, 7000, next);
+                }
+            });
+    }
+    std::vector<TimerRef> timers;
+    for (std::size_t h = 0; h < n; ++h) {
+        const std::vector<std::byte> payload(
+            8, std::byte{static_cast<unsigned char>(h)});
+        // Kickoffs go through each host's own simulator: scheduling on
+        // another shard's queue mid-run is exactly what the windowed
+        // scheme forbids.
+        topo.hosts[h]->simulator().schedule_at(10 + h * 137, [&topo, h, n, payload] {
+            topo.hosts[h]->udp_send(topo.hosts[(h + 1) % n]->addr(), 7000,
+                                    7000, payload);
+        });
+        timers.push_back(topo.hosts[h]->timer_after(
+            30 * kMicrosecond + h, [&topo, h, n, payload] {
+                topo.hosts[h]->udp_send(topo.hosts[(h + 2) % n]->addr(), 7000,
+                                        7000, payload);
+            }));
+        auto doomed = topo.hosts[h]->timer_after(90 * kMicrosecond, [] {});
+        doomed->cancel();
+    }
+    net.run();
+    std::uint64_t sig = 0xcbf29ce484222325ULL;
+    for (std::size_t h = 0; h < n; ++h) fold(sig, host_sig[h]);
+    fold(sig, net.now());
+    return {sig, net.events_executed(), net.now()};
+}
+
+// The tentpole's gate: the partition fixes the shard count and with it
+// the event graph, so 1-, 2- and 4-thread runs of one partition must
+// agree on the event count, the delivery signature and the final
+// simulated time, bit for bit.
+TEST(ParallelSim, ThreadCountsProduceIdenticalOutcomes) {
+    const LossyRunOutcome one = run_lossy_leaf_spine_parallel(1);
+    const LossyRunOutcome two = run_lossy_leaf_spine_parallel(2);
+    const LossyRunOutcome four = run_lossy_leaf_spine_parallel(4);
+    EXPECT_GT(one.events, 100u);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, four);
+    // The windows never inflate a shard clock past its last event, so
+    // the fabric-wide final time matches the unpartitioned run exactly
+    // (event counts differ: boundary deliveries cost one bookkeeping
+    // event each, which is why the partitioned runs form their own
+    // parity group).
+    const LossyRunOutcome seq = run_lossy_leaf_spine_parallel(1, false);
+    EXPECT_EQ(seq.final_time, one.final_time);
+}
+
+// Two senders on different shards, arrivals at the same instant: the
+// barrier drain delivers mailboxes in (destination, source-shard, FIFO)
+// order, so the tie breaks toward the lower source shard — on every
+// thread count.
+struct RaceOutcome {
+    std::vector<HostAddr> order;  ///< sources in order of arrival at h0
+    HostAddr h1{0};
+    HostAddr h2{0};
+};
+
+RaceOutcome run_equal_timestamp_race(std::size_t threads) {
+    Network net{7};
+    auto topo = make_star_l2(net, 3);
+    net.install_routes();
+    // h0 + tor on shard 0; h1 and h2 alone on shards 1 and 2.
+    std::vector<std::uint32_t> shard_of(net.nodes().size(), 0);
+    shard_of[topo.hosts[1]->id()] = 1;
+    shard_of[topo.hosts[2]->id()] = 2;
+    net.enable_parallel(shard_of, threads);
+
+    RaceOutcome out;
+    out.h1 = topo.hosts[1]->addr();
+    out.h2 = topo.hosts[2]->addr();
+    topo.hosts[0]->udp_bind(7000, [&out](HostAddr src, std::uint16_t, auto) {
+        out.order.push_back(src);
+    });
+    const std::vector<std::byte> payload(4, std::byte{0x5a});
+    for (const std::size_t h : {std::size_t{1}, std::size_t{2}}) {
+        topo.hosts[h]->simulator().schedule_at(50, [&topo, h, payload] {
+            topo.hosts[h]->udp_send(topo.hosts[0]->addr(), 7000, 7000, payload);
+        });
+    }
+    net.run();
+    return out;
+}
+
+TEST(ParallelSim, EqualTimestampCrossShardArrivalsOrderBySourceShard) {
+    const RaceOutcome one = run_equal_timestamp_race(1);
+    ASSERT_EQ(one.order.size(), 2u);
+    EXPECT_EQ(one.order[0], one.h1);
+    EXPECT_EQ(one.order[1], one.h2);
+    EXPECT_EQ(run_equal_timestamp_race(2).order, one.order);
+    EXPECT_EQ(run_equal_timestamp_race(4).order, one.order);
+}
+
+// A shard plan that puts the whole fabric in one shard (a star's only
+// legal plan: no cut has positive lookahead) must degrade to the plain
+// sequential run — same signature, same event count, no windows.
+TEST(ParallelSim, SingleShardPlanDegradesToSequential) {
+    const auto run = [](bool partition) {
+        Network net{99};
+        auto topo = make_star_l2(net, 4);
+        net.install_routes();
+        if (partition) {
+            net.enable_parallel(
+                std::vector<std::uint32_t>(net.nodes().size(), 0), 4);
+        }
+        std::uint64_t sig = 0xcbf29ce484222325ULL;
+        for (std::size_t h = 0; h < topo.hosts.size(); ++h) {
+            topo.hosts[h]->udp_bind(7000, [&sig, h](HostAddr src, std::uint16_t,
+                                                    auto payload) {
+                sig = (sig ^ (h * 1315423911u + src +
+                              std::to_integer<std::uint64_t>(payload[0]))) *
+                      0x100000001b3ULL;
+            });
+        }
+        const std::vector<std::byte> payload(6, std::byte{0x11});
+        for (std::size_t h = 0; h < topo.hosts.size(); ++h) {
+            topo.hosts[h]->simulator().schedule_at(h * 13, [&topo, h, payload] {
+                topo.hosts[h]->udp_send(
+                    topo.hosts[(h + 1) % topo.hosts.size()]->addr(), 7000, 7000,
+                    payload);
+            });
+        }
+        net.run();
+        return std::tuple{sig, net.events_executed(), net.now()};
+    };
+    const auto partitioned = run(true);
+    const auto plain = run(false);
+    EXPECT_EQ(partitioned, plain);
+    EXPECT_GT(std::get<2>(partitioned), 0u);
+}
+
 }  // namespace
 }  // namespace daiet::sim

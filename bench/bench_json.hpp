@@ -18,6 +18,7 @@
 
 #include "netsim/simulator.hpp"
 #include "trace/metrics.hpp"
+#include "trace/profiler.hpp"
 
 namespace daiet::bench {
 
@@ -80,6 +81,27 @@ public:
     /// `slug` names the output file: BENCH_<slug>.json.
     explicit BenchJson(std::string slug) : slug_{std::move(slug)} {
         root_.text("bench", slug_);
+        // Build provenance, so a bench trajectory is attributable
+        // run-to-run: which commit, which build type, which compiler.
+        // The macros come from CMake (see bench/ in CMakeLists.txt);
+        // "unknown" keeps JSON written by out-of-tree builds valid.
+#ifdef DAIET_GIT_SHA
+        config_.text("git_sha", DAIET_GIT_SHA);
+#else
+        config_.text("git_sha", "unknown");
+#endif
+#ifdef DAIET_BUILD_TYPE
+        config_.text("build_type", DAIET_BUILD_TYPE);
+#else
+        config_.text("build_type", "unknown");
+#endif
+#if defined(__clang__)
+        config_.text("compiler", std::string{"clang "} + __VERSION__);
+#elif defined(__GNUC__)
+        config_.text("compiler", std::string{"gcc "} + __VERSION__);
+#else
+        config_.text("compiler", "unknown");
+#endif
     }
 
     JsonObject& root() { return root_; }
@@ -174,6 +196,22 @@ public:
             .number("events_per_sec",
                     seconds > 0 ? static_cast<double>(events) / seconds : 0.0)
             .integer("threads", static_cast<std::uint64_t>(threads));
+        // When the bench ran with the self-profiler on, the utilization
+        // breakdown lands next to sim_speed: the root gets the summary,
+        // publish() puts the per-shard exec/barrier/drain split into the
+        // spliced "metrics" array.
+        if (trace::profiling()) {
+            const trace::Profiler::Report prof = trace::profiler().report();
+            json.root()
+                .integer("prof_wall_ns", prof.wall_ns)
+                .integer("prof_exec_ns", prof.exec_ns)
+                .integer("prof_barrier_ns", prof.barrier_ns)
+                .integer("prof_drain_ns", prof.drain_ns)
+                .number("prof_utilization_min", prof.utilization_min)
+                .number("prof_utilization_max", prof.utilization_max)
+                .number("prof_imbalance", prof.imbalance);
+            trace::profiler().publish();
+        }
     }
 
 private:

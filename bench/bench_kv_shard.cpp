@@ -13,6 +13,10 @@
 // value histories identical to an unsharded, cache-less, loss-free
 // serial reference — the coherence proof for the whole stack:
 // directory steering, per-rack caches, edge leases, retry transport.
+// Each run also declares service-level objectives (99.9% availability,
+// 2ms p99) that the per-service SLO monitor must report MET, at 0% and
+// at 1% loss — the retry transport has to hold the latency SLO while
+// absorbing real drops.
 //
 // Part C — staleness under live migration. One writer bumps a shared
 // key's version while readers behind two different edges poll it and
@@ -32,6 +36,7 @@
 #include "bench_util.hpp"
 #include "directory/sharded_service.hpp"
 #include "kvcache/service.hpp"
+#include "trace/slo.hpp"
 
 namespace {
 
@@ -343,22 +348,47 @@ int main() {
     for (const double loss : {0.0, 0.01}) {
         rt::ClusterRuntime rt{shard_fabric(loss)};
         dir::ShardedKvService svc{rt, rack_options(4)};
+        // Service-level objectives for the run, gated below: 99.9%
+        // availability (abandoned requests are the failures) and a p99
+        // that tolerates a couple of 200us-RTO retransmissions at 1%
+        // loss but still catches a broken retry path or a melted queue.
+        trace::SloSpec slo;
+        slo.availability_objective = 0.999;
+        slo.p99_objective_ns = 2'000'000;         // 2 ms
+        slo.window_ns = 500 * sim::kMicrosecond;  // SLI windows
+        svc.set_slo(slo);
         const dir::ShardedKvRunStats stats = svc.run(wl);
         const bool equal = signatures(svc) == reference;
         std::printf("loss %.0f%%: %s (retransmits %llu, abandoned %llu)\n",
                     100.0 * loss, equal ? "value-identical" : "DIVERGED",
                     static_cast<unsigned long long>(stats.retransmits),
                     static_cast<unsigned long long>(stats.abandoned));
+        const trace::SloMonitor* mon = svc.slo();
+        trace::SloMonitor::Verdict verdict;
+        if (mon != nullptr) {
+            verdict = mon->evaluate();
+            std::printf("%s\n", mon->report().c_str());
+        }
         json.push("parity")
             .number("loss", loss)
             .integer("identical", equal ? 1 : 0)
             .integer("retransmits", stats.retransmits)
             .integer("abandoned", stats.abandoned)
             .number("hit_rate", stats.hit_rate())
-            .integer("edge_hits", stats.edge_hits);
+            .integer("edge_hits", stats.edge_hits)
+            .integer("slo_met", verdict.met ? 1 : 0)
+            .number("slo_availability", verdict.availability)
+            .integer("slo_p99_ns", verdict.p99_ns)
+            .number("slo_burn_rate", verdict.burn_rate)
+            .number("slo_worst_window_burn", verdict.worst_window_burn);
         if (!equal || stats.abandoned != 0) healthy = false;
         if (loss > 0.0 && stats.retransmits == 0) {
             std::puts("FAIL: lossy run shows no retransmissions");
+            healthy = false;
+        }
+        if (mon == nullptr || !verdict.met) {
+            std::printf("FAIL: the %.0f%%-loss run violated its SLO\n",
+                        100.0 * loss);
             healthy = false;
         }
     }

@@ -27,6 +27,14 @@
 //     outcomes (kv completions, aggregation results, echo sweep); at
 //     full scale on >= 4 hardware threads par4 must also clear 1.8x
 //     the sequential fast path.
+//   * profN — the parN run with the sim self-profiler and the fabric
+//     time-series sampler both live (N = the largest parN that ran):
+//     per-shard exec/barrier/drain attribution plus counter tracks
+//     sampled between window barriers. Two trials, interleaved with a
+//     second parN base trial; must stay bit-identical with the parN
+//     group (the observers may not perturb the schedule), and the best
+//     profiled trial must hold 85% of the best base trial's
+//     throughput.
 //
 // Fresh processes keep one mode's heap churn from contaminating the
 // other's measurement, and the speedup gate compares each mode's best
@@ -56,6 +64,7 @@
 #include <cstring>
 #include <unistd.h>
 
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -67,6 +76,8 @@
 #include "common/framebuf.hpp"
 #include "kvcache/service.hpp"
 #include "runtime/job_driver.hpp"
+#include "runtime/sampler.hpp"
+#include "trace/profiler.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -148,13 +159,21 @@ struct RunResult {
     std::uint64_t agg_pairs_received{0};
     std::uint64_t echo_messages{0};
     std::uint64_t echo_expected{0};
+    /// Time-series samples the fabric sampler took (profN trials only).
+    std::uint64_t ts_samples{0};
 };
 
 /// Closed-loop window per kv client: demand adapts to capacity, so the
 /// run measures the simulator, not an open-loop queue artifact.
 constexpr std::size_t kWindow = 8;
 
-RunResult run_workload(const Shape& s, std::size_t threads = 0) {
+/// `profiled` arms the continuous observers for this run: the fabric
+/// time-series sampler (queue depths, SRAM, kv cache hits) attached to
+/// the parallel driver's coordinator phase. Only meaningful with
+/// threads > 0 — the sequential pump mode injects sim events and would
+/// change the signature, which the profN parity gate exists to forbid.
+RunResult run_workload(const Shape& s, std::size_t threads = 0,
+                       bool profiled = false) {
     rt::ClusterOptions copts;
     copts.topology = rt::TopologyKind::kFatTree;
     copts.fat_tree_k = s.k;
@@ -290,6 +309,25 @@ RunResult run_workload(const Shape& s, std::size_t threads = 0) {
             });
     }
 
+    // Continuous observers for the profN trial: fabric + service probes
+    // sampled by the parallel coordinator between window barriers (zero
+    // injected events — the parity gate holds the observers to that).
+    // Modest ring capacity: a full-scale fat tree carries thousands of
+    // link-direction tracks. The cadence is sized to the overhead gate:
+    // one sample scrapes every probe (~1k on a fat tree, cache-miss
+    // bound, ~100us wall here), all of it inside the coordinator's
+    // exclusive phase where it stalls every worker — the profiler's
+    // drain lane showed 50us cadence costing more wall time than the
+    // sim itself earns back at this scale.
+    std::unique_ptr<rt::FabricSampler> sampler;
+    if (profiled) {
+        sampler = std::make_unique<rt::FabricSampler>(
+            rt, 250 * sim::kMicrosecond, /*capacity=*/256);
+        sampler->add_fabric_probes();
+        svc.install_probes(*sampler);
+        sampler->start(s.requests * 12 * sim::kMicrosecond);
+    }
+
     Signature sig;
     RunResult out;
     out.boxed_allowance = (sender_hosts.size() + 8) * s.rounds;
@@ -327,6 +365,7 @@ RunResult run_workload(const Shape& s, std::size_t threads = 0) {
                             (pool0.slab_allocs + pool0.oversize_allocs);
     out.boxed_actions = rt.network().actions_heap_allocated();
     out.final_time = rt.now();
+    if (sampler != nullptr) out.ts_samples = sampler->samples_taken();
 
     // Value histories, in completion order: the determinism oracle.
     for (std::size_t ci = 0; ci < n; ++ci) {
@@ -446,8 +485,8 @@ bool parse_result(const char* line, Trial& t) {
 /// RESULT lines. Returns false if the child failed or reported nothing.
 /// /proc/self/exe must be resolved here, in this process — handing the
 /// literal link to popen's shell would re-exec the shell instead.
-bool run_child(const char* mode, const char* suffix,
-               std::vector<Trial>& out) {
+bool run_child(const char* mode, const char* suffix, std::vector<Trial>& out,
+               std::vector<std::string>* prof_lines = nullptr) {
     char exe[4096];
     const ssize_t len = readlink("/proc/self/exe", exe, sizeof exe - 2);
     if (len <= 0) {
@@ -473,6 +512,9 @@ bool run_child(const char* mode, const char* suffix,
             t.label += suffix;
             out.push_back(std::move(t));
             ++got;
+        } else if (prof_lines != nullptr &&
+                   std::strncmp(line, "PROF", 4) == 0) {
+            prof_lines->emplace_back(line);
         }
     }
     const int rc = pclose(pipe);
@@ -509,6 +551,44 @@ int main() {
     // steady-state allocation gates see a warmed free list.
     if (const char* mode = std::getenv("DAIET_BENCH_CHILD")) {
         const std::string_view m{mode};
+        // A profN child is the parN run with the observers armed: the
+        // self-profiler attributes every shard's windows and the fabric
+        // sampler scrapes counter tracks in the coordinator phase. It
+        // prints the standard RESULT line (same parity group as parN)
+        // plus PROFILE/PROFSUM lines the parent folds into the JSON.
+        if (m.rfind("prof", 0) == 0) {
+            const std::size_t threads = std::max<std::size_t>(
+                static_cast<std::size_t>(std::atoi(mode + 4)), 1);
+            set_fastpath_compat(false);
+            trace::profiler().enable();
+            const RunResult r = run_workload(s, threads, /*profiled=*/true);
+            print_result(mode, r);
+            const trace::Profiler::Report prof = trace::profiler().report();
+            for (const trace::Profiler::LaneReport& lane : prof.lanes) {
+                std::printf(
+                    "PROFILE shard=%zu exec_ns=%llu barrier_ns=%llu "
+                    "drain_ns=%llu windows=%llu events=%llu util=%.6f\n",
+                    lane.lane,
+                    static_cast<unsigned long long>(lane.exec_ns),
+                    static_cast<unsigned long long>(lane.barrier_ns),
+                    static_cast<unsigned long long>(lane.drain_ns),
+                    static_cast<unsigned long long>(lane.windows),
+                    static_cast<unsigned long long>(lane.events),
+                    lane.utilization);
+            }
+            std::printf(
+                "PROFSUM wall_ns=%llu exec_ns=%llu barrier_ns=%llu "
+                "drain_ns=%llu util_min=%.6f util_max=%.6f imbalance=%.6f "
+                "samples=%llu\n",
+                static_cast<unsigned long long>(prof.wall_ns),
+                static_cast<unsigned long long>(prof.exec_ns),
+                static_cast<unsigned long long>(prof.barrier_ns),
+                static_cast<unsigned long long>(prof.drain_ns),
+                prof.utilization_min, prof.utilization_max, prof.imbalance,
+                static_cast<unsigned long long>(r.ts_samples));
+            std::fflush(stdout);
+            return 0;
+        }
         // A parN child runs the fast path once under the parallel
         // sharded simulator with N worker threads.
         if (m.rfind("par", 0) == 0) {
@@ -589,10 +669,27 @@ int main() {
         const int parsed = std::atoi(env);
         if (parsed > 0) max_threads = static_cast<std::size_t>(parsed);
     }
+    std::size_t prof_threads = 0;
     for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
         if (n > max_threads) break;
         const std::string mode = "par" + std::to_string(n);
         healthy &= run_child(mode.c_str(), "", trials);
+        prof_threads = n;
+    }
+    // Profiled trials at the widest parN that ran: the parN schedule
+    // with the self-profiler and the fabric sampler both live, so the
+    // observer cost and the utilization split are tracked numbers. Two
+    // trials of each side, interleaved like the compat/fast pairs — the
+    // overhead gate compares best against best, so one noisy trial on a
+    // shared box cannot fake (or mask) a regression. The attribution
+    // folded into the JSON comes from the first profiled child only.
+    std::vector<std::string> prof_lines;
+    if (prof_threads > 0) {
+        const std::string mode = "prof" + std::to_string(prof_threads);
+        const std::string base = "par" + std::to_string(prof_threads);
+        healthy &= run_child(mode.c_str(), "", trials, &prof_lines);
+        healthy &= run_child(base.c_str(), "#2", trials);
+        healthy &= run_child(mode.c_str(), "#2", trials);
     }
     if (trials.empty()) {
         std::puts("FAIL: no trials completed");
@@ -627,17 +724,30 @@ int main() {
 
     double compat_eps = 0, fast_eps = 0, traced_eps = 0;
     double par1_eps = 0, par4_eps = 0;
+    double prof_eps = 0, prof_base_eps = 0;
     const RunResult* warm = nullptr;
     std::vector<const Trial*> par_trials;
+    const std::string prof_base_label = "par" + std::to_string(prof_threads);
     for (const Trial& t : trials) {
+        if (t.label.rfind(prof_base_label, 0) == 0) {
+            prof_base_eps = std::max(prof_base_eps, t.r.events_per_sec);
+        }
         if (t.label.rfind("compat", 0) == 0) {
             compat_eps = std::max(compat_eps, t.r.events_per_sec);
         } else if (t.label.rfind("traced", 0) == 0) {
             traced_eps = std::max(traced_eps, t.r.events_per_sec);
+        } else if (t.label.rfind("prof", 0) == 0) {
+            // Same schedule as the parN group — parity-checked with it.
+            prof_eps = std::max(prof_eps, t.r.events_per_sec);
+            par_trials.push_back(&t);
         } else if (t.label.rfind("par", 0) == 0) {
             par_trials.push_back(&t);
-            if (t.label == "par1") par1_eps = t.r.events_per_sec;
-            if (t.label == "par4") par4_eps = t.r.events_per_sec;
+            if (t.label.rfind("par1", 0) == 0) {
+                par1_eps = std::max(par1_eps, t.r.events_per_sec);
+            }
+            if (t.label.rfind("par4", 0) == 0) {
+                par4_eps = std::max(par4_eps, t.r.events_per_sec);
+            }
         } else {
             fast_eps = std::max(fast_eps, t.r.events_per_sec);
         }
@@ -685,6 +795,84 @@ int main() {
         healthy = false;
     }
 
+    // Observer overhead: the profiled trial replays the parN schedule
+    // with the self-profiler and the fabric sampler both live. Continuous
+    // observability is only continuous if it is cheap enough to leave on,
+    // so the cost is a hard gate, not a report.
+    double prof_overhead = 0.0;
+    if (prof_eps > 0 && prof_base_eps > 0) {
+        prof_overhead = 1.0 - prof_eps / prof_base_eps;
+        std::printf("profiled prof%zu: %.1f%% overhead vs %s "
+                    "(gate: <= 15%%)\n",
+                    prof_threads, 100.0 * prof_overhead,
+                    prof_base_label.c_str());
+        if (prof_eps < 0.85 * prof_base_eps) {
+            std::puts("FAIL: profiling + sampling cost the parallel run "
+                      "more than 15% of its throughput");
+            healthy = false;
+        }
+    } else if (prof_threads > 0) {
+        std::puts("FAIL: the profiled trial did not complete");
+        healthy = false;
+    }
+
+    // Fold the profiled child's per-shard attribution into the JSON
+    // (PROFILE lines) and onto the root (PROFSUM), under the same field
+    // names SimSpeedMeter::stamp uses for in-process profiled benches.
+    std::uint64_t prof_samples = 0;
+    bool have_profsum = false;
+    for (const std::string& pline : prof_lines) {
+        std::size_t shard = 0;
+        unsigned long long exec = 0, barrier = 0, drain = 0, windows = 0,
+                           events = 0, samples = 0, wall = 0;
+        double util = 0, util_min = 0, util_max = 0, imbalance = 0;
+        if (std::sscanf(pline.c_str(),
+                        "PROFILE shard=%zu exec_ns=%llu barrier_ns=%llu "
+                        "drain_ns=%llu windows=%llu events=%llu util=%lf",
+                        &shard, &exec, &barrier, &drain, &windows, &events,
+                        &util) == 7) {
+            json.push("profile")
+                .integer("shard", shard)
+                .integer("exec_ns", exec)
+                .integer("barrier_ns", barrier)
+                .integer("drain_ns", drain)
+                .integer("windows", windows)
+                .integer("events", events)
+                .number("utilization", util);
+        } else if (std::sscanf(
+                       pline.c_str(),
+                       "PROFSUM wall_ns=%llu exec_ns=%llu barrier_ns=%llu "
+                       "drain_ns=%llu util_min=%lf util_max=%lf "
+                       "imbalance=%lf samples=%llu",
+                       &wall, &exec, &barrier, &drain, &util_min, &util_max,
+                       &imbalance, &samples) == 8) {
+            have_profsum = true;
+            prof_samples = samples;
+            std::printf("profile: wall %.3f ms, exec %.3f ms, barrier "
+                        "%.3f ms, drain %.3f ms, utilization %.0f%%..%.0f%%, "
+                        "imbalance %.2fx, %llu counter samples\n",
+                        wall / 1e6, exec / 1e6, barrier / 1e6, drain / 1e6,
+                        100.0 * util_min, 100.0 * util_max, imbalance,
+                        samples);
+            json.root()
+                .integer("prof_wall_ns", wall)
+                .integer("prof_exec_ns", exec)
+                .integer("prof_barrier_ns", barrier)
+                .integer("prof_drain_ns", drain)
+                .number("prof_utilization_min", util_min)
+                .number("prof_utilization_max", util_max)
+                .number("prof_imbalance", imbalance);
+        }
+    }
+    if (prof_threads > 0 && !have_profsum) {
+        std::puts("FAIL: the profiled trial reported no PROFSUM line");
+        healthy = false;
+    }
+    if (prof_threads > 0 && prof_samples == 0) {
+        std::puts("FAIL: the fabric sampler took no counter samples");
+        healthy = false;
+    }
+
     // Determinism: compat vs fast is the semantic oracle; repeated
     // trials of the same mode are the repeatability oracle. The parN
     // trials form their own parity group — each shard-boundary delivery
@@ -701,6 +889,7 @@ int main() {
     bool deterministic = true;
     for (const Trial& t : trials) {
         if (t.label.rfind("par", 0) == 0) continue;
+        if (t.label.rfind("prof", 0) == 0) continue;
         if (t.r.signature != oracle.signature || t.r.events != oracle.events ||
             t.r.final_time != oracle.final_time) {
             std::printf("FAIL: %s diverged from the compat oracle "
@@ -790,6 +979,9 @@ int main() {
         .number("traced_events_per_sec", traced_eps)
         .number("par1_events_per_sec", par1_eps)
         .number("par4_events_per_sec", par4_eps)
+        .number("prof_events_per_sec", prof_eps)
+        .number("prof_overhead_pct", 100.0 * prof_overhead)
+        .integer("prof_counter_samples", prof_samples)
         .number("parallel_speedup_4t", par_speedup)
         .integer("parallel_gate_enforced", par_gate_active ? 1 : 0)
         .number("tracing_ring_overhead_pct", 100.0 * traced_overhead)

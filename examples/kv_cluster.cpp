@@ -23,10 +23,14 @@
 // switch rewrites to the owning rack), lease-based reply caches at the
 // client ToRs, and a live range migration under traffic.
 // Act 5 turns the tracer on: the sharded deployment re-runs on lossy
-// links with full causal tracing, writes kv_cluster.trace.json
-// (loadable in ui.perfetto.dev / chrome://tracing), and runs request
-// forensics on a GET that lost a frame — printing the drop, every
-// retransmission and the completing reply as one causal chain.
+// links with full causal tracing, a fabric sampler scraping link-queue
+// / SRAM / cache-hit counter tracks on a 20us sim-time cadence, and a
+// per-service SLO monitor scoring the run (availability + p99 against
+// declared objectives). It writes kv_cluster.trace.json — spans AND
+// counter tracks, loadable in ui.perfetto.dev / chrome://tracing — and
+// runs request forensics on a GET that lost a frame, printing the
+// drop, every retransmission and the completing reply as one causal
+// chain.
 //
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/kv_cluster
@@ -35,9 +39,12 @@
 #include "directory/sharded_service.hpp"
 #include "kvcache/service.hpp"
 #include "runtime/job_driver.hpp"
+#include "runtime/sampler.hpp"
 #include "telemetry/service.hpp"
 #include "trace/export.hpp"
 #include "trace/forensics.hpp"
+#include "trace/slo.hpp"
+#include "trace/timeseries.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -249,17 +256,38 @@ int main() {
                                                 shard_stats.puts_sent));
 
     // --- act 5: the same sharded deployment, lossy, fully traced -------------
-    std::puts("act 5: lossy 4-rack sharded run with causal tracing + request "
-              "forensics\n");
+    std::puts("act 5: lossy 4-rack sharded run with causal tracing, counter "
+              "tracks, SLOs + request forensics\n");
     trace::tracer().enable_full();
     rt::ClusterOptions traced_fabric = shard_fabric;
     traced_fabric.link.loss_probability = 0.01;
     traced_fabric.seed = 7;
     rt::ClusterRuntime traced_rt{traced_fabric};
     dir::ShardedKvService traced_svc{traced_rt, shard_opts};
+
+    // Continuous observability for the run: link-queue / SRAM / service
+    // counter tracks sampled every 20us of sim time (exported with the
+    // spans below), and declared service objectives scored after it.
+    rt::FabricSampler sampler{traced_rt, 20 * sim::kMicrosecond};
+    sampler.add_fabric_probes();
+    traced_svc.install_probes(sampler);
+    sampler.start(shard_wl.requests_per_client * shard_wl.request_interval * 2);
+    trace::SloSpec slo;
+    slo.availability_objective = 0.999;
+    slo.p99_objective_ns = 5 * sim::kMillisecond;
+    slo.window_ns = sim::kMillisecond;
+    traced_svc.set_slo(slo);
+
     const dir::ShardedKvRunStats traced_stats = traced_svc.run(shard_wl);
     const auto events = trace::tracer().snapshot();
 
+    if (const trace::SloMonitor* mon = traced_svc.slo()) {
+        std::printf("%s", mon->report().c_str());
+    }
+    std::printf("sampled %llu counter snapshots into %zu time-series tracks "
+                "(queue depth, SRAM per tenant, cache hits, retransmits)\n",
+                static_cast<unsigned long long>(sampler.samples_taken()),
+                trace::timeseries().size());
     std::printf("recorded %zu span events over %llu retransmits; ",
                 events.size(),
                 static_cast<unsigned long long>(traced_stats.retransmits));

@@ -31,14 +31,32 @@ void log_instant(int level, std::string_view message);
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
 namespace detail {
-inline LogLevel log_level_from_env() noexcept {
-    const char* env = std::getenv("DAIET_LOG_LEVEL");
-    if (env == nullptr || *env == '\0') return LogLevel::kWarn;
-    if (std::strcmp(env, "error") == 0 || std::strcmp(env, "0") == 0) return LogLevel::kError;
-    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "1") == 0) return LogLevel::kWarn;
-    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0) return LogLevel::kInfo;
-    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "3") == 0) return LogLevel::kDebug;
+/// Pure parser (unit-testable): `recognized` reports whether `value`
+/// named a level; unrecognized values fall back to warn.
+inline LogLevel parse_log_level(const char* value, bool& recognized) noexcept {
+    recognized = true;
+    if (value == nullptr || *value == '\0') return LogLevel::kWarn;
+    if (std::strcmp(value, "error") == 0 || std::strcmp(value, "0") == 0) return LogLevel::kError;
+    if (std::strcmp(value, "warn") == 0 || std::strcmp(value, "1") == 0) return LogLevel::kWarn;
+    if (std::strcmp(value, "info") == 0 || std::strcmp(value, "2") == 0) return LogLevel::kInfo;
+    if (std::strcmp(value, "debug") == 0 || std::strcmp(value, "3") == 0) return LogLevel::kDebug;
+    recognized = false;
     return LogLevel::kWarn;
+}
+
+/// Set when DAIET_LOG_LEVEL held junk; the next log() call turns it
+/// into a one-time warning (deferred so the warning goes through the
+/// fully-initialized logger instead of firing mid-static-init).
+inline bool& log_env_warn_pending() noexcept {
+    static bool pending = false;
+    return pending;
+}
+
+inline LogLevel log_level_from_env() noexcept {
+    bool recognized = true;
+    const LogLevel level = parse_log_level(std::getenv("DAIET_LOG_LEVEL"), recognized);
+    if (!recognized) log_env_warn_pending() = true;
+    return level;
 }
 
 inline LogLevel& log_level_ref() noexcept {
@@ -52,7 +70,15 @@ inline LogLevel log_level() noexcept { return detail::log_level_ref(); }
 
 template <typename... Args>
 void log(LogLevel level, const char* fmt, Args&&... args) {
-    const bool print = static_cast<int>(level) <= static_cast<int>(log_level());
+    const LogLevel threshold = log_level();  // forces env parse on first use
+    if (detail::log_env_warn_pending()) {
+        detail::log_env_warn_pending() = false;  // clear first: the warn recurses into log()
+        const char* env = std::getenv("DAIET_LOG_LEVEL");
+        log(LogLevel::kWarn,
+            "DAIET_LOG_LEVEL=\"%s\" not recognized (want error|warn|info|debug or 0-3); using warn",
+            env != nullptr ? env : "");
+    }
+    const bool print = static_cast<int>(level) <= static_cast<int>(threshold);
     const bool record = trace::detail::g_trace_enabled &&
                         static_cast<int>(level) <= static_cast<int>(LogLevel::kWarn);
     if (!print && !record) return;

@@ -8,6 +8,7 @@
 
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
+#include "runtime/sampler.hpp"
 #include "trace/metrics.hpp"
 
 namespace daiet::dir {
@@ -288,7 +289,50 @@ ShardedKvRunStats ShardedKvService::collect() const {
             .set(servers_[s]->stats().gets);
     }
     reg.histogram("shardedkv.get_latency_ns", "shardedkv").assign(gets);
+
+    if (slo_set_) {
+        slo_ = std::make_unique<trace::SloMonitor>(slo_spec_);
+        const std::uint64_t now = static_cast<std::uint64_t>(rt_->now());
+        for (const auto& client : clients_) {
+            for (const kv::KvClient::OpRecord& rec : client->log()) {
+                slo_->record_success(static_cast<std::uint64_t>(rec.completed),
+                                     static_cast<std::uint64_t>(rec.latency));
+            }
+            for (std::uint64_t i = 0; i < client->stats().abandoned; ++i) {
+                slo_->record_failure(now);
+            }
+        }
+        slo_->publish();
+    }
     return out;
+}
+
+void ShardedKvService::set_slo(trace::SloSpec spec) {
+    if (spec.service.empty()) spec.service = "shardedkv";
+    slo_spec_ = std::move(spec);
+    slo_set_ = true;
+    slo_.reset();
+}
+
+void ShardedKvService::install_probes(rt::FabricSampler& sampler) const {
+    for (std::size_t s = 0; s < racks_.size(); ++s) {
+        const kv::KvCacheSwitchProgram* cache = racks_[s].cache.get();
+        if (cache == nullptr) continue;
+        sampler.add_probe("shardedkv.rack_hits", "shard" + std::to_string(s),
+                          [cache] { return static_cast<double>(cache->stats().hits); });
+    }
+    const auto* edges = &edges_;
+    sampler.add_probe("shardedkv.edge_hits", "edges", [edges] {
+        std::uint64_t n = 0;
+        for (const auto& e : *edges) n += e->stats().hits;
+        return static_cast<double>(n);
+    });
+    const auto* clients = &clients_;
+    sampler.add_probe("shardedkv.retransmits", "kv-clients", [clients] {
+        std::uint64_t n = 0;
+        for (const auto& c : *clients) n += c->stats().retransmits;
+        return static_cast<double>(n);
+    });
 }
 
 ShardedKvRunStats ShardedKvService::run(const kv::KvWorkload& workload) {

@@ -135,6 +135,18 @@ public:
     ShardedKvRunStats collect() const;
     ShardedKvRunStats run(const kv::KvWorkload& workload);
 
+    /// Declare objectives; collect() rebuilds the SLO monitor from the
+    /// clients' request logs and publishes the SLIs. Empty spec.service
+    /// defaults to "shardedkv".
+    void set_slo(trace::SloSpec spec);
+    /// The monitor built by the last collect(); nullptr before then or
+    /// when no spec was set.
+    const trace::SloMonitor* slo() const noexcept { return slo_.get(); }
+
+    /// Register continuous service signals (per-shard rack-cache hits,
+    /// edge-cache hits, summed retransmits) on a FabricSampler.
+    void install_probes(rt::FabricSampler& sampler) const;
+
 private:
     struct Rack {
         std::shared_ptr<kv::KvCacheSwitchProgram> cache;
@@ -150,6 +162,9 @@ private:
     std::shared_ptr<DirectorySwitchProgram> directory_;
     std::unique_ptr<DirectoryController> controller_;
     sim::NodeId directory_node_{0};
+    bool slo_set_{false};
+    trace::SloSpec slo_spec_;
+    mutable std::unique_ptr<trace::SloMonitor> slo_;  ///< rebuilt by collect()
 };
 
 }  // namespace daiet::dir

@@ -8,6 +8,7 @@
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "netsim/link.hpp"
+#include "runtime/sampler.hpp"
 #include "trace/metrics.hpp"
 
 namespace daiet::kv {
@@ -205,7 +206,63 @@ KvRunStats KvService::collect() const {
     reg.counter("kv.server_gets", "kv", "server").set(out.server_gets);
     reg.histogram("kv.get_latency_ns", "kv").assign(gets);
     reg.histogram("kv.put_latency_ns", "kv").assign(puts);
+
+    if (slo_set_) {
+        // Rebuild from scratch each collect(): the client logs are the
+        // source of truth, so repeated collect() calls stay idempotent.
+        slo_ = std::make_unique<trace::SloMonitor>(slo_spec_);
+        const std::uint64_t now =
+            static_cast<std::uint64_t>(rt_->now());
+        for (const auto& client : clients_) {
+            for (const KvClient::OpRecord& rec : client->log()) {
+                slo_->record_success(static_cast<std::uint64_t>(rec.completed),
+                                     static_cast<std::uint64_t>(rec.latency));
+            }
+            // Abandoned requests carry no completion stamp; charge them
+            // at the end of the run (they failed by then by definition).
+            for (std::uint64_t i = 0; i < client->stats().abandoned; ++i) {
+                slo_->record_failure(now);
+            }
+        }
+        slo_->publish();
+    }
     return out;
+}
+
+void KvService::set_slo(trace::SloSpec spec) {
+    if (spec.service.empty()) spec.service = "kv";
+    slo_spec_ = std::move(spec);
+    slo_set_ = true;
+    slo_.reset();
+}
+
+void KvService::install_probes(rt::FabricSampler& sampler) const {
+    if (cache_ != nullptr) {
+        const KvCacheSwitchProgram* cache = cache_.get();
+        std::string node = "cache-switch";
+        for (const auto& n : rt_->network().nodes()) {
+            if (n->id() == cache_node_) {
+                node = n->name();
+                break;
+            }
+        }
+        sampler.add_probe("kv.cache_hits", node,
+                          [cache] { return static_cast<double>(cache->stats().hits); });
+        sampler.add_probe("kv.cache_misses", node, [cache] {
+            return static_cast<double>(cache->stats().misses);
+        });
+    }
+    const auto* clients = &clients_;
+    sampler.add_probe("kv.retransmits", "kv-clients", [clients] {
+        std::uint64_t n = 0;
+        for (const auto& c : *clients) n += c->stats().retransmits;
+        return static_cast<double>(n);
+    });
+    sampler.add_probe("kv.abandoned", "kv-clients", [clients] {
+        std::uint64_t n = 0;
+        for (const auto& c : *clients) n += c->stats().abandoned;
+        return static_cast<double>(n);
+    });
 }
 
 KvRunStats KvService::run(const KvWorkload& workload) {

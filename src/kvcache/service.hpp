@@ -26,6 +26,11 @@
 #include "kvcache/store.hpp"
 #include "kvcache/switch_program.hpp"
 #include "runtime/cluster.hpp"
+#include "trace/slo.hpp"
+
+namespace daiet::rt {
+class FabricSampler;
+}  // namespace daiet::rt
 
 namespace daiet::kv {
 
@@ -163,6 +168,19 @@ public:
     /// schedule + run + collect, for the simple single-job case.
     KvRunStats run(const KvWorkload& workload);
 
+    /// Declare objectives; collect() then rebuilds the SLO monitor from
+    /// the clients' request logs (each completed reply is a success at
+    /// its completion time, each abandoned request a failure) and
+    /// publishes the SLIs. Empty spec.service defaults to "kv".
+    void set_slo(trace::SloSpec spec);
+    /// The monitor built by the last collect(); nullptr before then or
+    /// when no spec was set.
+    const trace::SloMonitor* slo() const noexcept { return slo_.get(); }
+
+    /// Register continuous service signals (cache hits/misses, summed
+    /// client retransmits) on a FabricSampler.
+    void install_probes(rt::FabricSampler& sampler) const;
+
 private:
     rt::ClusterRuntime* rt_;
     KvServiceOptions options_;
@@ -171,6 +189,9 @@ private:
     std::shared_ptr<KvCacheSwitchProgram> cache_;
     std::unique_ptr<KvCacheController> controller_;
     sim::NodeId cache_node_{0};
+    bool slo_set_{false};
+    trace::SloSpec slo_spec_;
+    mutable std::unique_ptr<trace::SloMonitor> slo_;  ///< rebuilt by collect()
 };
 
 }  // namespace daiet::kv

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "trace/profiler.hpp"
+#include "trace/timeseries.hpp"
 #include "trace/trace.hpp"
 
 namespace daiet::sim {
@@ -79,26 +81,54 @@ void ShardedSimulator::drain_mailboxes() {
 
 void ShardedSimulator::run_shard_windows(std::size_t worker,
                                          std::size_t workers,
-                                         SimTime window_end) {
+                                         SimTime window_end,
+                                         std::uint64_t* chain) {
     for (std::size_t i = worker; i < shards_.size(); i += workers) {
         // Spans recorded while executing shard i land in lane i no
         // matter which thread runs the window — traces are
-        // thread-count-independent, like everything else.
+        // thread-count-independent, like everything else. The profiler
+        // attributes by the same numbering, so exec time is charged
+        // per shard, not per thread.
         trace::tracer().bind_lane(i);
+        if (chain == nullptr) {
+            shards_[i]->run_window(window_end);
+            continue;
+        }
+        const std::uint64_t ev0 = shards_[i]->events_executed();
         shards_[i]->run_window(window_end);
+        const std::uint64_t t = trace::Profiler::now_ticks();
+        trace::profiler().add_exec(i, t - *chain,
+                                   shards_[i]->events_executed() - ev0);
+        *chain = t;
     }
 }
 
 SimTime ShardedSimulator::run_sequential() {
+    const bool prof = trace::profiling();
+    if (prof) trace::profiler().begin_run();
+    std::uint64_t chain = prof ? trace::Profiler::now_ticks() : 0;
     for (;;) {
         drain_mailboxes();
         SimTime next = Simulator::kNever;
         for (Simulator* s : shards_) next = std::min(next, s->next_event_at());
+        if (next != Simulator::kNever && sampler_ != nullptr) {
+            sampler_->maybe_sample(next);
+        }
+        if (prof) {
+            // Drain span: mailbox hand-off, window sizing, and the
+            // time-series scrape — the same attribution the parallel
+            // coordinator gets.
+            const std::uint64_t t = trace::Profiler::now_ticks();
+            trace::profiler().add_drain(0, t - chain);
+            chain = t;
+        }
         if (next == Simulator::kNever) break;
         ++windows_;
-        run_shard_windows(0, 1, window_end_after(next, lookahead_));
+        run_shard_windows(0, 1, window_end_after(next, lookahead_),
+                          prof ? &chain : nullptr);
     }
     trace::tracer().bind_lane(0);
+    if (prof) trace::profiler().end_run();
     return now();
 }
 
@@ -107,12 +137,21 @@ SimTime ShardedSimulator::run_parallel(std::size_t workers) {
     std::atomic<bool> stop{false};
     SimTime window_end = 0;  // written by worker 0, read after the barrier
 
+    const bool prof = trace::profiling();
+    if (prof) trace::profiler().begin_run();
     auto drive = [&](std::size_t j) {
+        // Chained profiler clock: every read below closes one span and
+        // opens the next, so a fully attributed window costs half the
+        // clock reads of begin/end brackets (the hooks run tens of
+        // thousands of times per second — read count IS the overhead).
+        std::uint64_t chain = prof ? trace::Profiler::now_ticks() : 0;
         for (;;) {
             if (j == 0) {
                 // The coordinator phase owns every shard queue: drain
                 // the window's cross-shard traffic, then size the next
-                // window. Workers are parked at the barrier below.
+                // window (workers are parked at the barrier below) —
+                // which also makes it the one safe spot to scrape
+                // time-series probes over any shard's state.
                 drain_mailboxes();
                 SimTime next = Simulator::kNever;
                 for (Simulator* s : shards_) {
@@ -123,12 +162,31 @@ SimTime ShardedSimulator::run_parallel(std::size_t workers) {
                 } else {
                     ++windows_;
                     window_end = window_end_after(next, lookahead_);
+                    if (sampler_ != nullptr) sampler_->maybe_sample(next);
+                }
+                if (prof) {
+                    const std::uint64_t t = trace::Profiler::now_ticks();
+                    trace::profiler().add_drain(0, t - chain);
+                    chain = t;
                 }
             }
+            // Worker j's park time at either gate is its barrier-wait
+            // share: for j != 0 the first gate's wait covers the whole
+            // coordinator phase, the second covers straggler shards.
             gate.arrive_and_wait();
+            if (prof) {
+                const std::uint64_t t = trace::Profiler::now_ticks();
+                trace::profiler().add_barrier(j, t - chain);
+                chain = t;
+            }
             if (stop.load(std::memory_order_relaxed)) break;
-            run_shard_windows(j, workers, window_end);
+            run_shard_windows(j, workers, window_end, prof ? &chain : nullptr);
             gate.arrive_and_wait();
+            if (prof) {
+                const std::uint64_t t = trace::Profiler::now_ticks();
+                trace::profiler().add_barrier(j, t - chain);
+                chain = t;
+            }
         }
     };
 
@@ -145,6 +203,7 @@ SimTime ShardedSimulator::run_parallel(std::size_t workers) {
     drive(0);
     for (std::thread& t : pool) t.join();
     trace::tracer().bind_lane(0);
+    if (prof) trace::profiler().end_run();
     return now();
 }
 

@@ -47,6 +47,10 @@
 #include "netsim/simulator.hpp"
 #include "netsim/time.hpp"
 
+namespace daiet::trace {
+class TsSampler;
+}  // namespace daiet::trace
+
 namespace daiet::sim {
 
 class ShardedSimulator {
@@ -96,11 +100,24 @@ public:
     /// Conservative windows executed by the last run() (diagnostics).
     std::uint64_t windows_run() const noexcept { return windows_; }
 
+    /// Window-driven time-series sampling: the coordinator calls
+    /// sampler->maybe_sample(window_start) between barriers, where it
+    /// has exclusive access to every shard's state — probes may read
+    /// any of it, no sim events are injected (signatures stay
+    /// bit-identical), and sample times are deterministic. Pass nullptr
+    /// to detach; the sampler must outlive any run() it is attached for.
+    void set_sampler(trace::TsSampler* sampler) noexcept { sampler_ = sampler; }
+    trace::TsSampler* sampler() const noexcept { return sampler_; }
+
 private:
     void drain_mailboxes();
     /// One thread's share of a window: shards j, j+T, j+2T, ...
+    /// `chain` is the profiler's chained clock: non-null when profiling,
+    /// holding the tick the previous span ended at; each shard's window
+    /// costs ONE clock read (end == next start), and the final read is
+    /// written back for the caller's next span.
     void run_shard_windows(std::size_t worker, std::size_t workers,
-                           SimTime window_end);
+                           SimTime window_end, std::uint64_t* chain = nullptr);
     SimTime run_sequential();
     SimTime run_parallel(std::size_t workers);
 
@@ -110,6 +127,7 @@ private:
     SimTime lookahead_{Simulator::kNever};
     std::size_t threads_;
     std::uint64_t windows_{0};
+    trace::TsSampler* sampler_{nullptr};
 };
 
 }  // namespace daiet::sim

@@ -35,6 +35,7 @@
 #include "common/contracts.hpp"
 #include "common/framebuf.hpp"  // fastpath_compat()
 #include "netsim/time.hpp"
+#include "trace/profiler.hpp"
 
 namespace daiet::sim {
 
@@ -124,6 +125,10 @@ public:
     /// Run until no events remain. Returns the final simulated time.
     /// The compat branch is hoisted out of the per-event loop.
     SimTime run() {
+        // Profiler exec attribution brackets the whole drain (two clock
+        // reads per run, not per event); a disabled profiler costs one
+        // branch here.
+        const trace::ScopedExec prof{executed_};
         if (compat_) {
             while (!legacy_.empty()) step_legacy();
         } else {
@@ -157,6 +162,9 @@ public:
     /// lookahead, and keeping now_ at the last real event makes the
     /// max-over-shards final time bit-identical to a sequential run.
     SimTime run_window(SimTime end) {
+        // No profiler hook here: the parallel driver (the only caller)
+        // times windows itself with one chained clock read per shard,
+        // half the cost of a begin/end bracket per window.
         if (compat_) {
             while (!legacy_.empty() && legacy_.top().at < end) step_legacy();
         } else {

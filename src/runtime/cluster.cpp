@@ -276,6 +276,11 @@ TenantProgram* ClusterRuntime::tenant_at(sim::NodeId node,
     return site == nullptr ? nullptr : site->mux->tenant(name);
 }
 
+const SwitchProgramMux* ClusterRuntime::mux_at(sim::NodeId node) const noexcept {
+    const Site* site = find_site(node);
+    return site == nullptr ? nullptr : site->mux.get();
+}
+
 std::uint64_t ClusterRuntime::total_recirculations() const {
     std::uint64_t total = 0;
     for (const auto* sw : daiet_switches_) {

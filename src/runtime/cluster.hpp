@@ -127,6 +127,9 @@ public:
     /// nullptr when the switch has no such tenant (or is not
     /// programmable).
     TenantProgram* tenant_at(sim::NodeId node, std::string_view name) const;
+    /// The tenant mux of programmable switch `node` (per-tenant SRAM
+    /// attribution via sram_report()); nullptr when not programmable.
+    const SwitchProgramMux* mux_at(sim::NodeId node) const noexcept;
 
     /// Partition the fabric across worker threads (conservative
     /// time-windowed parallel simulation, netsim/parallel.hpp). The

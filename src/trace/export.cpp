@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <set>
 
+#include "trace/timeseries.hpp"
 #include "trace/trace.hpp"
 
 namespace daiet::trace {
@@ -17,7 +18,20 @@ void append_escaped(std::string& out, const std::string& s) {
             case '"': out += "\\\""; break;
             case '\\': out += "\\\\"; break;
             case '\n': out += "\\n"; break;
-            default: out.push_back(c); break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char esc[8];
+                    std::snprintf(esc, sizeof esc, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += esc;
+                } else {
+                    out.push_back(c);
+                }
+                break;
         }
     }
 }
@@ -72,9 +86,14 @@ std::string chrome_trace_json(const std::vector<SpanEvent>& events) {
     std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
     bool first = true;
 
-    // process_name metadata rows label each fabric location.
+    // process_name metadata rows label each fabric location — both
+    // instant-event nodes and counter-track homes, so every pid in the
+    // file resolves to a name in the Perfetto UI.
     std::set<std::uint32_t> nodes;
     for (const SpanEvent& ev : sorted) nodes.insert(ev.node);
+    for (const TimeSeries& s : timeseries().series()) {
+        if (s.held() > 0) nodes.insert(tracer().intern(s.node()));
+    }
     char buf[256];
     for (const std::uint32_t node : nodes) {
         if (!first) out += ",\n";
@@ -92,6 +111,28 @@ std::string chrome_trace_json(const std::vector<SpanEvent>& events) {
         if (!first) out += ",\n";
         first = false;
         append_event(out, ev);
+    }
+
+    // Counter tracks (ph:"C"): one Perfetto track per series, identity
+    // (pid, name). pid comes from the interner, so the same node string
+    // maps to the same track no matter which shard lane sampled it.
+    for (const TimeSeries& s : timeseries().series()) {
+        if (s.held() == 0) continue;
+        const std::uint32_t pid = tracer().intern(s.node());
+        std::string head = "{\"name\": \"";
+        append_escaped(head, s.name());
+        head += "\", \"ph\": \"C\", \"pid\": ";
+        std::snprintf(buf, sizeof buf, "%u", pid);
+        head += buf;
+        for (const TsPoint& p : s.snapshot()) {
+            if (!first) out += ",\n";
+            first = false;
+            out += head;
+            std::snprintf(buf, sizeof buf,
+                          ", \"ts\": %" PRIu64 ".%03u, \"args\": {\"value\": %.6g}}",
+                          p.ts / 1000, static_cast<unsigned>(p.ts % 1000), p.value);
+            out += buf;
+        }
     }
     out += "\n]}\n";
     return out;

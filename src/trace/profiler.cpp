@@ -1,0 +1,146 @@
+#include "trace/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "trace/metrics.hpp"
+
+namespace daiet::trace {
+
+namespace detail {
+bool g_prof_enabled = false;
+}  // namespace detail
+
+Profiler& Profiler::instance() {
+    static Profiler p;
+    return p;
+}
+
+void Profiler::enable() {
+    reset();
+    // Calibration anchor: report() divides the steady_clock ns elapsed
+    // since here by the ticks elapsed to turn raw tick sums into ns.
+    calib_ticks0_ = now_ticks();
+    calib_ns0_ = now_ns();
+    detail::g_prof_enabled = true;
+}
+
+void Profiler::disable() { detail::g_prof_enabled = false; }
+
+void Profiler::reset() {
+    for (Slot& s : slots_) s = Slot{};
+    wall_ticks_ = 0;
+    run_t0_ = 0;
+    calib_ticks0_ = 0;
+    calib_ns0_ = 0;
+}
+
+double Profiler::ns_per_tick() const noexcept {
+    const std::uint64_t ticks = now_ticks() - calib_ticks0_;
+    const std::uint64_t ns = now_ns() - calib_ns0_;
+    if (calib_ticks0_ == 0 || ticks == 0 || ns == 0) return 1.0;
+    return static_cast<double>(ns) / static_cast<double>(ticks);
+}
+
+Profiler::Report Profiler::report() const {
+    Report r;
+    const double scale = ns_per_tick();
+    const auto to_ns = [scale](std::uint64_t ticks) {
+        return static_cast<std::uint64_t>(static_cast<double>(ticks) * scale);
+    };
+    r.wall_ns = to_ns(wall_ticks_);
+    std::uint64_t exec_max = 0;
+    std::uint64_t exec_min = 0;
+    for (std::size_t i = 0; i < kMaxLanes; ++i) {
+        const Slot& s = slots_[i];
+        if (s.exec_ticks == 0 && s.barrier_ticks == 0 && s.drain_ticks == 0 &&
+            s.windows == 0) {
+            continue;
+        }
+        LaneReport lane;
+        lane.lane = i;
+        lane.exec_ns = to_ns(s.exec_ticks);
+        lane.barrier_ns = to_ns(s.barrier_ticks);
+        lane.drain_ns = to_ns(s.drain_ticks);
+        lane.windows = s.windows;
+        lane.events = s.events;
+        r.lanes.push_back(lane);
+        r.exec_ns += lane.exec_ns;
+        r.barrier_ns += lane.barrier_ns;
+        r.drain_ns += lane.drain_ns;
+        r.events += s.events;
+        exec_max = std::max(exec_max, lane.exec_ns);
+        exec_min = r.lanes.size() == 1 ? lane.exec_ns
+                                       : std::min(exec_min, lane.exec_ns);
+    }
+    // Without an explicit begin_run/end_run bracket (e.g. a bare
+    // Simulator::run under a unit test), the critical path is the
+    // slowest lane's exec time.
+    if (r.wall_ns == 0) r.wall_ns = exec_max;
+    if (r.wall_ns > 0) {
+        bool first = true;
+        for (LaneReport& lane : r.lanes) {
+            lane.utilization =
+                static_cast<double>(lane.exec_ns) / static_cast<double>(r.wall_ns);
+            r.utilization_min = first
+                                    ? lane.utilization
+                                    : std::min(r.utilization_min, lane.utilization);
+            r.utilization_max = std::max(r.utilization_max, lane.utilization);
+            first = false;
+        }
+    }
+    if (exec_min > 0) {
+        r.imbalance =
+            static_cast<double>(exec_max) / static_cast<double>(exec_min);
+    }
+    return r;
+}
+
+std::string Profiler::format() const {
+    const Report r = report();
+    std::string out;
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "profiler: wall %.3f ms, exec %.3f ms, barrier %.3f ms, "
+                  "drain %.3f ms, imbalance %.2fx\n",
+                  r.wall_ns / 1e6, r.exec_ns / 1e6, r.barrier_ns / 1e6,
+                  r.drain_ns / 1e6, r.imbalance);
+    out += line;
+    for (const LaneReport& lane : r.lanes) {
+        std::snprintf(line, sizeof(line),
+                      "  shard %2zu: exec %9.3f ms  barrier %9.3f ms  drain "
+                      "%9.3f ms  windows %8llu  events %10llu  util %5.1f%%\n",
+                      lane.lane, lane.exec_ns / 1e6, lane.barrier_ns / 1e6,
+                      lane.drain_ns / 1e6,
+                      static_cast<unsigned long long>(lane.windows),
+                      static_cast<unsigned long long>(lane.events),
+                      lane.utilization * 100.0);
+        out += line;
+    }
+    return out;
+}
+
+void Profiler::publish() const {
+    const Report r = report();
+    MetricsRegistry& reg = metrics();
+    reg.counter("prof.wall_ns").set(r.wall_ns);
+    reg.counter("prof.exec_ns").set(r.exec_ns);
+    reg.counter("prof.barrier_ns").set(r.barrier_ns);
+    reg.counter("prof.drain_ns").set(r.drain_ns);
+    reg.gauge("prof.utilization_min").set(r.utilization_min);
+    reg.gauge("prof.utilization_max").set(r.utilization_max);
+    reg.gauge("prof.imbalance").set(r.imbalance);
+    for (const LaneReport& lane : r.lanes) {
+        char node[32];
+        std::snprintf(node, sizeof(node), "shard%zu", lane.lane);
+        reg.counter("prof.shard.exec_ns", "", node).set(lane.exec_ns);
+        reg.counter("prof.shard.barrier_ns", "", node).set(lane.barrier_ns);
+        reg.counter("prof.shard.drain_ns", "", node).set(lane.drain_ns);
+        reg.counter("prof.shard.windows", "", node).set(lane.windows);
+        reg.counter("prof.shard.events", "", node).set(lane.events);
+        reg.gauge("prof.shard.utilization", "", node).set(lane.utilization);
+    }
+}
+
+}  // namespace daiet::trace

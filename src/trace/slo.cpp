@@ -1,0 +1,112 @@
+#include "trace/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "trace/metrics.hpp"
+
+namespace daiet::trace {
+
+SloMonitor::SloMonitor(SloSpec spec) : spec_{std::move(spec)} {
+    if (spec_.window_ns == 0) spec_.window_ns = 1;
+    if (spec_.max_windows == 0) spec_.max_windows = 1;
+    ring_.resize(spec_.max_windows);
+}
+
+SloMonitor::Window& SloMonitor::window_at(std::uint64_t at_ns) {
+    const std::uint64_t idx = at_ns / spec_.window_ns;
+    Window& w = ring_[idx % ring_.size()];
+    if (!w.used || w.index != idx) {
+        // Only move forward: a stale straggler landing on a slot a
+        // newer window already claimed folds into totals alone.
+        if (w.used && w.index > idx) return w;
+        w = Window{};
+        w.used = true;
+        w.index = idx;
+    }
+    return w;
+}
+
+void SloMonitor::record_success(std::uint64_t completed_ns,
+                                std::uint64_t latency_ns) {
+    ++total_;
+    latency_.add(static_cast<double>(latency_ns));
+    ++window_at(completed_ns).ok;
+}
+
+void SloMonitor::record_failure(std::uint64_t at_ns) {
+    ++total_;
+    ++failed_;
+    ++window_at(at_ns).failed;
+}
+
+SloMonitor::Verdict SloMonitor::evaluate() const {
+    Verdict v;
+    v.total = total_;
+    v.failed = failed_;
+    if (total_ == 0) return v;  // no traffic: vacuously met
+    v.availability =
+        static_cast<double>(total_ - failed_) / static_cast<double>(total_);
+    v.availability_met = v.availability >= spec_.availability_objective;
+    const double budget = 1.0 - spec_.availability_objective;
+    if (budget > 0.0) v.burn_rate = (1.0 - v.availability) / budget;
+    for (const Window& w : ring_) {
+        if (!w.used || w.ok + w.failed == 0) continue;
+        ++v.windows;
+        if (budget > 0.0) {
+            const double bad = static_cast<double>(w.failed) /
+                               static_cast<double>(w.ok + w.failed);
+            v.worst_window_burn = std::max(v.worst_window_burn, bad / budget);
+        }
+    }
+    if (latency_.count() > 0) {
+        v.p99_ns = static_cast<std::uint64_t>(latency_.quantile(0.99));
+        if (spec_.p99_objective_ns > 0) {
+            v.latency_met = v.p99_ns <= spec_.p99_objective_ns;
+        }
+    }
+    v.met = v.availability_met && v.latency_met;
+    return v;
+}
+
+std::string SloMonitor::report() const {
+    const Verdict v = evaluate();
+    std::string out;
+    char line[224];
+    std::snprintf(line, sizeof(line),
+                  "SLO [%s]: %s  (%llu requests, %llu failed)\n",
+                  spec_.service.c_str(), v.met ? "MET" : "VIOLATED",
+                  static_cast<unsigned long long>(v.total),
+                  static_cast<unsigned long long>(v.failed));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  availability %.5f vs objective %.5f  [%s]   burn %.2fx "
+                  "(worst window %.2fx over %zu windows)\n",
+                  v.availability, spec_.availability_objective,
+                  v.availability_met ? "ok" : "MISS", v.burn_rate,
+                  v.worst_window_burn, v.windows);
+    out += line;
+    if (spec_.p99_objective_ns > 0) {
+        std::snprintf(line, sizeof(line),
+                      "  p99 latency %.3f us vs objective %.3f us  [%s]\n",
+                      v.p99_ns / 1e3, spec_.p99_objective_ns / 1e3,
+                      v.latency_met ? "ok" : "MISS");
+        out += line;
+    }
+    return out;
+}
+
+void SloMonitor::publish() const {
+    const Verdict v = evaluate();
+    MetricsRegistry& reg = metrics();
+    const std::string& svc = spec_.service;
+    reg.gauge("slo.availability", svc).set(v.availability);
+    reg.gauge("slo.burn_rate", svc).set(v.burn_rate);
+    reg.gauge("slo.worst_window_burn", svc).set(v.worst_window_burn);
+    reg.gauge("slo.p99_ns", svc).set(static_cast<double>(v.p99_ns));
+    reg.gauge("slo.met", svc).set(v.met ? 1.0 : 0.0);
+    reg.counter("slo.requests", svc).set(v.total);
+    reg.counter("slo.failed", svc).set(v.failed);
+}
+
+}  // namespace daiet::trace

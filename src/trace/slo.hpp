@@ -1,0 +1,91 @@
+// Per-service SLO monitor: windowed SLIs and error-budget burn rate.
+//
+// A service declares objectives (availability ratio, p99 latency) and
+// feeds the monitor one observation per finished request: successes
+// carry their completion time and latency, failures (abandoned
+// requests) just their time. The monitor keeps
+//   - a fabric-lifetime LogHistogram for the p99 SLI (fixed ~16KB), and
+//   - a fixed ring of per-window success/failure tallies for burn-rate
+//     (how fast the error budget 1-objective is being spent, where
+//     burn 1.0 = exactly on budget, >1.0 = burning faster than allowed).
+// Everything is fixed-memory and sim-time-driven, so verdicts are
+// deterministic across runs and thread counts — which is what lets
+// bench_kv_shard turn "SLO met at 1% loss" into a hard gate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace daiet::trace {
+
+struct SloSpec {
+    std::string service;  ///< label for reports & published metrics
+    /// Fraction of requests that must succeed (reply, not abandon).
+    double availability_objective{0.999};
+    /// p99 latency objective in sim-ns; 0 disables the latency SLI.
+    std::uint64_t p99_objective_ns{0};
+    /// Burn-rate window width in sim-ns.
+    std::uint64_t window_ns{1'000'000};
+    /// Ring size: how many recent windows are kept individually.
+    std::size_t max_windows{64};
+};
+
+class SloMonitor {
+public:
+    explicit SloMonitor(SloSpec spec);
+
+    const SloSpec& spec() const noexcept { return spec_; }
+
+    void record_success(std::uint64_t completed_ns, std::uint64_t latency_ns);
+    void record_failure(std::uint64_t at_ns);
+
+    struct Verdict {
+        bool met{true};  ///< availability_met && latency_met
+        bool availability_met{true};
+        bool latency_met{true};
+        double availability{1.0};
+        std::uint64_t p99_ns{0};
+        /// Lifetime burn rate: (1 - availability) / (1 - objective).
+        double burn_rate{0.0};
+        /// Worst single window's burn rate (spikes a lifetime average hides).
+        double worst_window_burn{0.0};
+        std::uint64_t total{0};
+        std::uint64_t failed{0};
+        std::size_t windows{0};  ///< windows with traffic, in the ring
+    };
+    Verdict evaluate() const;
+
+    /// Multi-line human-readable scorecard.
+    std::string report() const;
+
+    /// Publish SLIs as gauges under tenant = spec.service.
+    void publish() const;
+
+    std::uint64_t total() const noexcept { return total_; }
+    std::uint64_t failed() const noexcept { return failed_; }
+    const LogHistogram& latency() const noexcept { return latency_; }
+
+private:
+    struct Window {
+        std::uint64_t index{0};  ///< completed_ns / window_ns
+        std::uint64_t ok{0};
+        std::uint64_t failed{0};
+        bool used{false};
+    };
+
+    /// Route an observation into its window's ring slot; a newer window
+    /// landing on an occupied slot evicts it (the evicted tallies stay
+    /// in the lifetime totals, only per-window resolution is lost).
+    Window& window_at(std::uint64_t at_ns);
+
+    SloSpec spec_;
+    LogHistogram latency_;
+    std::vector<Window> ring_;
+    std::uint64_t total_{0};
+    std::uint64_t failed_{0};
+};
+
+}  // namespace daiet::trace

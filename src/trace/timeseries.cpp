@@ -1,0 +1,21 @@
+#include "trace/timeseries.hpp"
+
+namespace daiet::trace {
+
+TimeSeriesRegistry& TimeSeriesRegistry::instance() {
+    static TimeSeriesRegistry registry;
+    return registry;
+}
+
+TimeSeries& TimeSeriesRegistry::track(std::string_view name,
+                                      std::string_view node,
+                                      std::size_t capacity) {
+    for (TimeSeries& s : series_) {
+        if (s.name() == name && s.node() == node) return s;
+    }
+    return series_.emplace_back(std::string{name}, std::string{node}, capacity);
+}
+
+void TimeSeriesRegistry::clear() { series_.clear(); }
+
+}  // namespace daiet::trace

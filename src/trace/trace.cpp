@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/log.hpp"
+
 namespace daiet::trace {
 
 namespace detail {
@@ -64,6 +66,37 @@ Tracer& Tracer::instance() {
     return tracer;
 }
 
+TraceEnvConfig parse_trace_env(const char* value) {
+    TraceEnvConfig cfg;
+    if (value == nullptr || *value == '\0') return cfg;
+    if (std::strcmp(value, "full") == 0 || std::strcmp(value, "1") == 0) {
+        cfg.mode = TraceEnvConfig::Mode::kFull;
+        return cfg;
+    }
+    if (std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
+        std::strcmp(value, "none") == 0) {
+        return cfg;  // explicitly disabled
+    }
+    if (std::strncmp(value, "ring", 4) == 0) {
+        if (value[4] == '\0') {
+            cfg.mode = TraceEnvConfig::Mode::kRing;
+            cfg.ring_capacity = 1u << 16;
+            return cfg;
+        }
+        if (value[4] == ':') {
+            char* end = nullptr;
+            const long parsed = std::strtol(value + 5, &end, 10);
+            if (parsed > 0 && end != value + 5 && *end == '\0') {
+                cfg.mode = TraceEnvConfig::Mode::kRing;
+                cfg.ring_capacity = static_cast<std::size_t>(parsed);
+                return cfg;
+            }
+        }
+    }
+    cfg.recognized = false;
+    return cfg;
+}
+
 Tracer::Tracer() {
     lanes_.push_back(std::make_unique<Lane>());
     lanes_.back()->index = 0;
@@ -71,15 +104,17 @@ Tracer::Tracer() {
     // Operator switch: DAIET_TRACE=full | ring[:N] | 1 enables tracing
     // for any binary without code changes (1 == full).
     if (const char* env = std::getenv("DAIET_TRACE")) {
-        if (std::strcmp(env, "full") == 0 || std::strcmp(env, "1") == 0) {
+        const TraceEnvConfig cfg = parse_trace_env(env);
+        if (!cfg.recognized) {
+            // Warn while tracing is still disabled: log() only touches
+            // the tracer when g_trace_enabled is set, so this cannot
+            // recurse into instance() mid-construction.
+            log_warn("DAIET_TRACE=\"%s\" not recognized (want full | ring[:N] | off); tracing stays disabled",
+                     env);
+        } else if (cfg.mode == TraceEnvConfig::Mode::kFull) {
             enable_full();
-        } else if (std::strncmp(env, "ring", 4) == 0) {
-            std::size_t cap = 1u << 16;
-            if (env[4] == ':') {
-                const long parsed = std::strtol(env + 5, nullptr, 10);
-                if (parsed > 0) cap = static_cast<std::size_t>(parsed);
-            }
-            enable_ring(cap);
+        } else if (cfg.mode == TraceEnvConfig::Mode::kRing) {
+            enable_ring(cfg.ring_capacity);
         }
     }
 }

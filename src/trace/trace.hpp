@@ -107,6 +107,19 @@ extern bool g_trace_enabled;
 /// this is the *only* cost any hook pays.
 inline bool enabled() noexcept { return detail::g_trace_enabled; }
 
+/// Parsed DAIET_TRACE value. Split out of the Tracer constructor so the
+/// accepted grammar (full | 1 | ring[:N] | 0 | off | none) is
+/// unit-testable without mutating the process singleton; `recognized`
+/// is false for junk values, which leave tracing disabled and earn a
+/// one-time warning.
+struct TraceEnvConfig {
+    enum class Mode { kDisabled, kFull, kRing };
+    Mode mode{Mode::kDisabled};
+    std::size_t ring_capacity{0};
+    bool recognized{true};
+};
+TraceEnvConfig parse_trace_env(const char* value);
+
 class Tracer {
 public:
     static Tracer& instance();
